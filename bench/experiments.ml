@@ -1,0 +1,733 @@
+(* The evaluation harness: one function per table/figure of the paper's
+   evaluation (reconstructed — see DESIGN.md), each printing the
+   corresponding table or ASCII figure. *)
+
+module P = Codetomo.Pipeline
+module Cfg = Cfgir.Cfg
+module Freq = Cfgir.Freq
+module Program = Mote_isa.Program
+module Machine = Mote_machine.Machine
+module Node = Mote_os.Node
+module Table = Report.Table
+module Chart = Report.Chart
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+(* Every table is printed, and additionally dumped as CSV when
+   CODETOMO_CSV_DIR is set — so the evaluation data can be re-plotted
+   outside this harness. *)
+let emit_table ~name ~headers rows =
+  print_endline (Table.render ~headers rows);
+  match Sys.getenv_opt "CODETOMO_CSV_DIR" with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      Report.Csv.write_file ~path ~headers rows;
+      Printf.printf "[csv written to %s]\n" path
+
+let f = Table.fmt_float
+let pct = Table.fmt_pct
+
+(* Profile runs are reused across experiments within one process. *)
+let profile_cache : (string * P.config, P.profile_run) Hashtbl.t = Hashtbl.create 8
+
+let profile ?(config = P.default_config) w =
+  let key = (w.Workloads.name, config) in
+  match Hashtbl.find_opt profile_cache key with
+  | Some run -> run
+  | None ->
+      let run = P.profile ~config w in
+      Hashtbl.replace profile_cache key run;
+      run
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* T1: benchmark characteristics.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () =
+  section "T1. Benchmark characteristics (static)";
+  let rows =
+    List.map
+      (fun w ->
+        let c = Workloads.compiled w in
+        let program = c.Mote_lang.Compile.program in
+        let cfgs =
+          Cfg.of_program program
+          |> List.filter (fun cfg ->
+                 cfg.Cfg.proc.Program.name <> Mote_lang.Compile.init_proc_name)
+        in
+        let blocks = List.fold_left (fun acc cfg -> acc + Cfg.num_blocks cfg) 0 cfgs in
+        let branches =
+          List.fold_left (fun acc cfg -> acc + Cfg.static_cond_branches cfg) 0 cfgs
+        in
+        let loops =
+          List.fold_left (fun acc cfg -> acc + List.length (Cfg.loop_headers cfg)) 0 cfgs
+        in
+        [
+          w.Workloads.name;
+          string_of_int (List.length cfgs);
+          string_of_int blocks;
+          string_of_int branches;
+          string_of_int loops;
+          string_of_int (Program.flash_words program);
+          string_of_int (List.length w.Workloads.tasks);
+        ])
+      Workloads.all
+  in
+  emit_table ~name:"t1"
+    ~headers:[ "workload"; "procs"; "blocks"; "branches"; "loops"; "flash(w)"; "tasks" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F2: estimation accuracy vs number of timing samples.                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_points = [ 10; 30; 100; 300; 1000; 3000 ]
+
+(* Small-sample MAE varies with which invocations happen to land in the
+   prefix, so each point is a mean over independent environment seeds. *)
+let f2_seeds = [ 42; 1042; 2042 ]
+
+let f2 () =
+  section
+    "F2. Branch-probability MAE vs number of end-to-end timing samples\n\
+     (EM; mean over 3 environment seeds)";
+  let series =
+    List.map
+      (fun w ->
+        let runs =
+          List.map (fun seed -> profile ~config:{ P.default_config with P.seed } w) f2_seeds
+        in
+        let pts =
+          List.map
+            (fun n ->
+              let maes =
+                List.concat_map
+                  (fun run -> List.map (fun e -> e.P.mae) (P.estimate ~max_samples:n run))
+                  runs
+              in
+              (float_of_int n, mean maes))
+            sample_points
+        in
+        (w.Workloads.name, Array.of_list pts))
+      Workloads.all
+  in
+  let rows =
+    List.map
+      (fun (name, pts) ->
+        name :: List.map (fun (_, mae) -> f ~decimals:4 mae) (Array.to_list pts))
+      series
+  in
+  emit_table ~name:"f2"
+    ~headers:("workload" :: List.map (fun n -> Printf.sprintf "n=%d" n) sample_points)
+    rows;
+  print_endline
+    (Chart.line ~log_x:true ~x_label:"samples" ~y_label:"MAE"
+       ~title:"F2: estimation error vs sample count" series)
+
+(* ------------------------------------------------------------------ *)
+(* F3: accuracy vs timer resolution and jitter.                        *)
+(* ------------------------------------------------------------------ *)
+
+let resolutions = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let f3_workloads () = [ Workloads.sense; Workloads.filter; Workloads.ctp ]
+
+(* Individual runs are noisy at coarse resolutions (path costs alias into
+   the same tick), so each point averages several environment seeds. *)
+let f3_seeds = [ 42; 142; 242 ]
+
+let f3 () =
+  section "F3. Estimation MAE vs timer resolution (cycles/tick; EM, no jitter)";
+  let mae_at w config =
+    List.map
+      (fun seed ->
+        let run = profile ~config:{ config with P.seed = seed } w in
+        mean (List.map (fun e -> e.P.mae) (P.estimate run)))
+      f3_seeds
+    |> mean
+  in
+  let series =
+    List.map
+      (fun w ->
+        let pts =
+          List.map
+            (fun r ->
+              let config = { P.default_config with P.timer_resolution = r } in
+              (float_of_int r, mae_at w config))
+            resolutions
+        in
+        (w.Workloads.name, Array.of_list pts))
+      (f3_workloads ())
+  in
+  let rows =
+    List.map
+      (fun (name, pts) ->
+        name :: List.map (fun (_, mae) -> f ~decimals:4 mae) (Array.to_list pts))
+      series
+  in
+  emit_table ~name:"f3"
+    ~headers:("workload" :: List.map (fun r -> Printf.sprintf "res=%d" r) resolutions)
+    rows;
+  print_endline
+    (Chart.line ~log_x:true ~x_label:"timer resolution (cycles/tick)" ~y_label:"MAE"
+       ~title:"F3a: estimation error vs timer resolution" series);
+  (* Jitter sweep at resolution 1. *)
+  let jitters = [ 0.0; 1.0; 2.0; 4.0; 8.0 ] in
+  let jitter_series =
+    List.map
+      (fun w ->
+        let pts =
+          List.map
+            (fun j ->
+              let config = { P.default_config with P.timer_jitter = j } in
+              (j, mae_at w config))
+            jitters
+        in
+        (w.Workloads.name, Array.of_list pts))
+      (f3_workloads ())
+  in
+  print_endline
+    (Chart.line ~x_label:"timer jitter sigma (cycles)" ~y_label:"MAE"
+       ~title:"F3b: estimation error vs timer jitter" jitter_series)
+
+(* ------------------------------------------------------------------ *)
+(* T4 / F5: placement quality.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let layout_cache : (string, P.variant list) Hashtbl.t = Hashtbl.create 8
+
+let layout_variants w =
+  match Hashtbl.find_opt layout_cache w.Workloads.name with
+  | Some v -> v
+  | None ->
+      let run = profile w in
+      let v = P.compare_layouts run in
+      Hashtbl.replace layout_cache w.Workloads.name v;
+      v
+
+let t4 () =
+  section
+    "T4. Taken-transfer ('misprediction') counts and rates by layout\n\
+     (evaluation on fresh inputs: profiling seed + 1000)";
+  let rows =
+    List.concat_map
+      (fun w ->
+        let variants = layout_variants w in
+        List.map
+          (fun v ->
+            [
+              w.Workloads.name;
+              v.P.label;
+              string_of_int v.P.taken_transfers;
+              pct v.P.taken_rate;
+              string_of_int v.P.busy_cycles;
+              string_of_int v.P.flash_words;
+            ])
+          variants)
+      Workloads.all
+  in
+  emit_table ~name:"t4"
+    ~headers:[ "workload"; "layout"; "taken"; "taken rate"; "busy cycles"; "flash(w)" ]
+    rows;
+  (* Reduction summary. *)
+  let rows =
+    List.map
+      (fun w ->
+        let variants = layout_variants w in
+        let get label = List.find (fun v -> v.P.label = label) variants in
+        let nat = get "natural" and tomo = get "tomography" and perf = get "perfect" in
+        let red v =
+          1.0
+          -. (float_of_int v.P.taken_transfers /. float_of_int nat.P.taken_transfers)
+        in
+        [
+          w.Workloads.name;
+          pct (red tomo);
+          pct (red perf);
+          pct
+            (if nat.P.taken_transfers = perf.P.taken_transfers then 1.0
+             else
+               float_of_int (nat.P.taken_transfers - tomo.P.taken_transfers)
+               /. float_of_int (nat.P.taken_transfers - perf.P.taken_transfers));
+        ])
+      Workloads.all
+  in
+  emit_table ~name:"t4_summary"
+    ~headers:[ "workload"; "tomo reduction"; "perfect reduction"; "headroom captured" ]
+    rows
+
+let f5 () =
+  section "F5. Execution cycles normalized to the natural layout";
+  let labels = [ "natural"; "worst"; "tomography"; "perfect" ] in
+  let rows =
+    List.map
+      (fun w ->
+        let variants = layout_variants w in
+        let get label = List.find (fun v -> v.P.label = label) variants in
+        let nat = float_of_int (get "natural").P.busy_cycles in
+        w.Workloads.name
+        :: List.map
+             (fun l -> f ~decimals:4 (float_of_int (get l).P.busy_cycles /. nat))
+             labels)
+      Workloads.all
+  in
+  emit_table ~name:"f5" ~headers:("workload" :: labels) rows;
+  let series =
+    List.map
+      (fun label ->
+        ( label,
+          Array.of_list
+            (List.mapi
+               (fun i w ->
+                 let variants = layout_variants w in
+                 let get l = List.find (fun v -> v.P.label = l) variants in
+                 let nat = float_of_int (get "natural").P.busy_cycles in
+                 (float_of_int i, float_of_int (get label).P.busy_cycles /. nat))
+               Workloads.all) ))
+      labels
+  in
+  print_endline
+    (Chart.line ~x_label:"workload index" ~y_label:"cycles vs natural"
+       ~title:"F5: normalized cycles (x = workload index in T1 order)" series)
+
+(* ------------------------------------------------------------------ *)
+(* T6: profiling overhead — tomography probes vs full edge counters.   *)
+(* ------------------------------------------------------------------ *)
+
+let t6 () =
+  section "T6. Profiling overhead: Code Tomography probes vs edge instrumentation";
+  let rows =
+    List.concat_map
+      (fun w ->
+        let c = Workloads.compiled w in
+        let base = c.Mote_lang.Compile.program in
+        let probes =
+          Mote_isa.Asm.assemble (Profilekit.Probes.instrument c.Mote_lang.Compile.items)
+        in
+        let edges =
+          Mote_isa.Asm.assemble (Profilekit.Edges.instrument c.Mote_lang.Compile.items)
+        in
+        let pr = Profilekit.Overhead.probes_report ~base ~instrumented:probes in
+        let er = Profilekit.Overhead.edges_report ~base ~instrumented:edges in
+        let cycles binary =
+          (P.run_binary w binary ~label:"overhead").P.busy_cycles
+        in
+        let base_cycles = cycles base in
+        let row label (r : Profilekit.Overhead.report) binary =
+          let busy = cycles binary in
+          [
+            w.Workloads.name;
+            label;
+            string_of_int r.Profilekit.Overhead.flash_words;
+            string_of_int r.Profilekit.Overhead.flash_overhead_words;
+            Printf.sprintf "%.1f%%" r.Profilekit.Overhead.flash_overhead_pct;
+            string_of_int r.Profilekit.Overhead.ram_words;
+            string_of_int busy;
+            Printf.sprintf "%.1f%%"
+              (100.0 *. float_of_int (busy - base_cycles) /. float_of_int base_cycles);
+          ]
+        in
+        [
+          [
+            w.Workloads.name; "none";
+            string_of_int (Program.flash_words base); "0"; "0.0%"; "0";
+            string_of_int base_cycles; "0.0%";
+          ];
+          row "probes" pr probes;
+          row "edges" er edges;
+        ])
+      Workloads.all
+  in
+  emit_table ~name:"t6"
+    ~headers:
+      [
+        "workload"; "instr."; "flash(w)"; "+flash"; "+flash%"; "ram(w)";
+        "busy cycles"; "+cycles%";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F7: EM convergence.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let f7 () =
+  section "F7. EM convergence (log-likelihood and MAE per iteration)";
+  let cases = [ (Workloads.sense, "sense_task"); (Workloads.ctp, "ctp_rx_task") ] in
+  let series =
+    List.concat_map
+      (fun (w, proc) ->
+        let run = profile w in
+        let samples = List.assoc proc run.P.samples in
+        let truth = List.assoc proc run.P.oracle_thetas in
+        let model = P.model_of run proc in
+        let paths = Tomo.Paths.enumerate model in
+        let r =
+          Tomo.Em.estimate ~sigma:(P.noise_sigma run.P.config) ~tol:0.0 ~max_iters:25
+            paths ~samples
+        in
+        let maes =
+          List.mapi
+            (fun i (theta, _) ->
+              (float_of_int (i + 1), Stats.Metrics.mae theta truth))
+            r.Tomo.Em.trajectory
+        in
+        let lls = List.map snd r.Tomo.Em.trajectory in
+        let ll_lo = List.fold_left Stdlib.min infinity lls in
+        let ll_hi = List.fold_left Stdlib.max neg_infinity lls in
+        let span = Stdlib.max 1e-9 (ll_hi -. ll_lo) in
+        let lls_norm =
+          List.mapi
+            (fun i ll -> (float_of_int (i + 1), (ll -. ll_lo) /. span))
+            lls
+        in
+        [
+          (proc ^ " MAE", Array.of_list maes);
+          (proc ^ " loglik (normalized)", Array.of_list lls_norm);
+        ])
+      cases
+  in
+  print_endline
+    (Chart.line ~x_label:"EM iteration" ~y_label:"MAE / normalized loglik"
+       ~title:"F7: EM convergence" series)
+
+(* ------------------------------------------------------------------ *)
+(* A8: estimator ablation.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let a8 () =
+  section "A8. Ablation: estimation method (MAE and resulting placement quality)";
+  let methods = Tomo.Estimator.[ Em; Moments; Naive ] in
+  let rows =
+    List.concat_map
+      (fun w ->
+        let run = profile w in
+        List.map
+          (fun m ->
+            let est = P.estimate ~method_:m run in
+            let mae = mean (List.map (fun e -> e.P.mae) est) in
+            let freqs = P.estimated_freqs run est in
+            let binary =
+              P.placed_binary run ~profiles:freqs
+                ~algorithm:Layout.Algorithms.pettis_hansen
+            in
+            let eval_config = { run.P.config with P.seed = run.P.config.P.seed + 1000 } in
+            let v = P.run_binary ~config:eval_config w binary ~label:"x" in
+            [
+              w.Workloads.name;
+              Tomo.Estimator.method_name m;
+              f ~decimals:4 mae;
+              string_of_int v.P.taken_transfers;
+              string_of_int v.P.busy_cycles;
+            ])
+          methods)
+      Workloads.all
+  in
+  emit_table ~name:"a8"
+    ~headers:[ "workload"; "method"; "MAE"; "taken after placement"; "busy cycles" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A9: placement-algorithm ablation under exact (oracle) profiles.     *)
+(* ------------------------------------------------------------------ *)
+
+let a9 () =
+  section "A9. Ablation: placement algorithm under exact profiles (static eval)";
+  let algorithms =
+    [
+      ("natural", fun freq -> Layout.Placement.natural (Freq.cfg freq));
+      ("greedy", Layout.Algorithms.greedy);
+      ("pettis-hansen", Layout.Algorithms.pettis_hansen);
+      ("anneal", fun freq -> Layout.Algorithms.anneal freq);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun w ->
+        let run = profile w in
+        List.concat_map
+          (fun (proc, freq) ->
+            let cfg = Freq.cfg freq in
+            let optimal =
+              if Cfg.num_blocks cfg <= 9 then
+                Some (Layout.Eval.taken_transfers freq (Layout.Algorithms.optimal freq))
+              else None
+            in
+            List.map
+              (fun (name, algo) ->
+                let score = Layout.Eval.taken_transfers freq (algo freq) in
+                [
+                  w.Workloads.name;
+                  proc;
+                  name;
+                  f ~decimals:1 score;
+                  (match optimal with
+                  | Some o -> f ~decimals:1 o
+                  | None -> "n/a (>9 blocks)");
+                ])
+              algorithms)
+          run.P.oracle_freqs)
+      Workloads.all
+  in
+  emit_table ~name:"a9"
+    ~headers:[ "workload"; "procedure"; "algorithm"; "taken (static)"; "optimal" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A11: does the core's static prediction policy change the story?     *)
+(* Under BTFN the fetch stage already wins on loop back-edges, so      *)
+(* placement has less headroom — but the estimation pipeline is        *)
+(* unchanged.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let a11 () =
+  section "A11. Ablation: static branch prediction policy (dynamic, perfect profiles)";
+  let rows =
+    List.concat_map
+      (fun w ->
+        let run = profile w in
+        let placed =
+          P.placed_binary run ~profiles:run.P.oracle_freqs
+            ~algorithm:Layout.Algorithms.pettis_hansen
+        in
+        List.map
+          (fun (policy_name, prediction) ->
+            let config =
+              { run.P.config with P.seed = run.P.config.P.seed + 1000; prediction }
+            in
+            let natural = P.run_binary ~config w (P.natural_binary run) ~label:"nat" in
+            let opt = P.run_binary ~config w placed ~label:"opt" in
+            let reduction =
+              if natural.P.taken_transfers = 0 then 0.0
+              else
+                1.0
+                -. (float_of_int opt.P.taken_transfers
+                   /. float_of_int natural.P.taken_transfers)
+            in
+            [
+              w.Workloads.name;
+              policy_name;
+              string_of_int natural.P.taken_transfers;
+              string_of_int opt.P.taken_transfers;
+              pct reduction;
+              string_of_int (natural.P.busy_cycles - opt.P.busy_cycles);
+            ])
+          [
+            ("not-taken", Mote_machine.Machine.Predict_not_taken);
+            ("btfn", Mote_machine.Machine.Predict_btfn);
+          ])
+      Workloads.all
+  in
+  emit_table ~name:"a11"
+    ~headers:
+      [
+        "workload"; "policy"; "stalls (natural)"; "stalls (placed)"; "reduction";
+        "cycles saved";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* S12: scalability on machine-generated programs.                     *)
+(* ------------------------------------------------------------------ *)
+
+let s12 () =
+  section "S12. Scalability: estimator cost and accuracy vs generated program size";
+  let rows =
+    List.map
+      (fun (depth, stmts, seed) ->
+        let config =
+          { Workloads.Generator.default_config with seed; max_depth = depth; stmts_per_block = stmts }
+        in
+        let program = Workloads.Generator.generate ~config () in
+        let c = Mote_lang.Compile.compile program in
+        let instrumented =
+          Mote_isa.Asm.assemble (Profilekit.Probes.instrument c.Mote_lang.Compile.items)
+        in
+        let devices = Mote_machine.Devices.create () in
+        let env = Env.create (Workloads.Generator.env_config ~seed) in
+        Env.attach env devices;
+        let m = Mote_machine.Machine.create ~program:instrumented ~devices () in
+        ignore (Mote_machine.Machine.run_proc m Mote_lang.Compile.init_proc_name);
+        let oracle = Profilekit.Oracle.attach m in
+        for _ = 1 to 2000 do
+          ignore (Mote_machine.Machine.run_proc m "gen_task")
+        done;
+        let samples =
+          Profilekit.Probes.(
+            samples_for (collect ~program:instrumented ~devices)) "gen_task"
+        in
+        let cfg = Cfg.of_proc_name instrumented "gen_task" in
+        let model = Tomo.Model.of_cfg cfg in
+        let samples = if Array.length samples > 800 then Array.sub samples 0 800 else samples in
+        let t0 = Sys.time () in
+        let result =
+          match Tomo.Paths.enumerate ~max_paths:4000 ~max_visits:8 model with
+          | paths ->
+              let r = Tomo.Em.estimate ~max_iters:30 paths ~samples in
+              let truth = Profilekit.Oracle.theta_vector oracle ~proc:"gen_task" in
+              let mae =
+                if Array.length truth = 0 then 0.0
+                else Stats.Metrics.mae r.Tomo.Em.theta truth
+              in
+              Some (Array.length (Tomo.Paths.paths paths), mae)
+          | exception Tomo.Paths.Too_complex _ -> None
+        in
+        let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+        [
+          Printf.sprintf "depth=%d stmts=%d seed=%d" depth stmts seed;
+          string_of_int (Cfg.num_blocks cfg);
+          string_of_int (Cfg.static_cond_branches cfg);
+          (match result with Some (p, _) -> string_of_int p | None -> ">4000");
+          (match result with Some (_, mae) -> f ~decimals:4 mae | None -> "n/a");
+          f ~decimals:1 elapsed_ms;
+        ])
+      (* Chosen to span roughly 5 -> 100 blocks. *)
+      [ (2, 2, 5); (2, 2, 3); (3, 2, 2); (4, 2, 1); (4, 3, 4); (4, 4, 2); (4, 4, 6) ]
+  in
+  emit_table ~name:"s12"
+    ~headers:[ "generator config"; "blocks"; "branches"; "paths"; "MAE"; "EM ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F13: energy and projected battery life.  Placement saves active     *)
+(* cycles; on a duty-cycled mote that converts into lifetime.          *)
+(* ------------------------------------------------------------------ *)
+
+let f13 () =
+  section "F13. Energy per run and projected battery life (TelosB model, 1 MHz core)";
+  let rows =
+    List.concat_map
+      (fun w ->
+        let horizon = w.Workloads.horizon in
+        let variants = layout_variants w in
+        List.filter_map
+          (fun v ->
+            if v.P.label = "worst" then None
+            else begin
+              let energy =
+                Mote_os.Energy.of_parts ~busy_cycles:v.P.busy_cycles
+                  ~idle_cycles:(horizon - v.P.busy_cycles) ~tx_words:v.P.tx_words ()
+              in
+              let days =
+                Mote_os.Energy.lifetime_days energy ~horizon_cycles:horizon
+                  ~cycles_per_second:1_000_000
+              in
+              Some
+                [
+                  w.Workloads.name;
+                  v.P.label;
+                  f ~decimals:3 energy.Mote_os.Energy.active_mj;
+                  f ~decimals:3 energy.Mote_os.Energy.radio_mj;
+                  f ~decimals:3 energy.Mote_os.Energy.total_mj;
+                  f ~decimals:0 days;
+                ]
+            end)
+          variants)
+      Workloads.all
+  in
+  emit_table ~name:"f13"
+    ~headers:[ "workload"; "layout"; "cpu mJ"; "radio mJ"; "total mJ"; "lifetime (days)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F14: robustness to probe-record loss (bounded buffers, lossy         *)
+(* uplinks) with the resynchronizing collector.                         *)
+(* ------------------------------------------------------------------ *)
+
+let f14 () =
+  section "F14. Estimation MAE vs probe-record loss rate (lossy collector, filter)";
+  let w = Workloads.filter in
+  let compiled = Workloads.compiled w in
+  let inst =
+    Mote_isa.Asm.assemble (Profilekit.Probes.instrument compiled.Mote_lang.Compile.items)
+  in
+  let rows =
+    List.map
+      (fun loss ->
+        let devices =
+          Mote_machine.Devices.create ~probe_loss:loss
+            ~rng:(Stats.Rng.create 11) ()
+        in
+        let machine = Mote_machine.Machine.create ~program:inst ~devices () in
+        let env = Env.create w.Workloads.env_config in
+        let node_ = Node.create ~machine ~env ~tasks:w.Workloads.tasks () in
+        let oracle = Profilekit.Oracle.attach machine in
+        ignore (Node.run node_ ~until:w.Workloads.horizon);
+        let r =
+          Profilekit.Probes.collect_lossy ~max_window:200 ~program:inst ~devices ()
+        in
+        let samples =
+          Profilekit.Probes.samples_for r.Profilekit.Probes.samples "filter_task"
+        in
+        let truth = Profilekit.Oracle.theta_vector oracle ~proc:"filter_task" in
+        let model = Tomo.Model.of_cfg (Cfg.of_proc_name inst "filter_task") in
+        let paths = Tomo.Paths.enumerate model in
+        let est = Tomo.Em.estimate paths ~samples in
+        [
+          pct loss;
+          string_of_int (Mote_machine.Devices.probes_dropped devices);
+          string_of_int (Array.length samples);
+          string_of_int r.Profilekit.Probes.discarded;
+          f ~decimals:4 (Stats.Metrics.mae est.Tomo.Em.theta truth);
+        ])
+      [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+  in
+  emit_table ~name:"f14"
+    ~headers:[ "loss rate"; "records lost"; "windows kept"; "discarded"; "MAE" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A15: cost watermarking vs the identifiability limit.                 *)
+(* ------------------------------------------------------------------ *)
+
+let a15 () =
+  section
+    "A15. Cost watermarking: restoring identifiability for equal-cost arms\n\
+     (profiling-build-only delay stubs on ambiguous taken edges)";
+  let rows =
+    List.concat_map
+      (fun w ->
+        let run = profile w in
+        let sites = P.ambiguous_sites run in
+        let plain = P.estimate run in
+        let wm, _ = P.estimate_watermarked run in
+        List.map2
+          (fun a b ->
+            let n_sites =
+              List.length (List.filter (fun (proc, _) -> proc = a.P.proc) sites)
+            in
+            [
+              w.Workloads.name;
+              a.P.proc;
+              string_of_int n_sites;
+              f ~decimals:4 a.P.mae;
+              f ~decimals:4 b.P.mae;
+            ])
+          plain wm)
+      Workloads.all
+  in
+  emit_table ~name:"a15"
+    ~headers:
+      [ "workload"; "procedure"; "ambiguous branches"; "MAE plain"; "MAE watermarked" ]
+    rows
+
+let all () =
+  t1 ();
+  f2 ();
+  f3 ();
+  t4 ();
+  f5 ();
+  t6 ();
+  f7 ();
+  a8 ();
+  a9 ();
+  a11 ();
+  s12 ();
+  f13 ();
+  f14 ();
+  a15 ()

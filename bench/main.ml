@@ -1,0 +1,36 @@
+(* Evaluation driver: `dune exec bench/main.exe` regenerates every table
+   and figure; `dune exec bench/main.exe -- t4` runs a single one. *)
+
+let experiments =
+  [
+    ("t1", Experiments.t1);
+    ("f2", Experiments.f2);
+    ("f3", Experiments.f3);
+    ("t4", Experiments.t4);
+    ("f5", Experiments.f5);
+    ("t6", Experiments.t6);
+    ("f7", Experiments.f7);
+    ("a8", Experiments.a8);
+    ("a9", Experiments.a9);
+    ("a11", Experiments.a11);
+    ("s12", Experiments.s12);
+    ("f13", Experiments.f13);
+    ("f14", Experiments.f14);
+    ("a15", Experiments.a15);
+    ("b10", Micro.b10);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> List.iter (fun (_, run) -> run ()) experiments
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt (String.lowercase_ascii name) experiments with
+          | Some run -> run ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; available: %s\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        names
+  | [] -> ()

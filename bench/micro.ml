@@ -1,0 +1,91 @@
+(* B10: Bechamel micro-benchmarks for the moving parts of the pipeline:
+   simulator speed, CFG extraction, path enumeration, the EM estimator and
+   the placement pass. *)
+
+open Bechamel
+open Toolkit
+
+let prepared_sense =
+  lazy
+    (let w = Workloads.sense in
+     let c = Workloads.compiled w in
+     let run =
+       Codetomo.Pipeline.profile
+         ~config:{ Codetomo.Pipeline.default_config with horizon = Some 1_000_000 }
+         w
+     in
+     (w, c, run))
+
+let test_simulator =
+  Test.make ~name:"simulate 100 sense_task invocations"
+    (Staged.stage (fun () ->
+         let _, c, _ = Lazy.force prepared_sense in
+         let devices = Mote_machine.Devices.create () in
+         Mote_machine.Devices.set_sensor devices (fun _ -> 500);
+         let m =
+           Mote_machine.Machine.create ~program:c.Mote_lang.Compile.program ~devices ()
+         in
+         ignore (Mote_machine.Machine.run_proc m Mote_lang.Compile.init_proc_name);
+         for _ = 1 to 100 do
+           ignore (Mote_machine.Machine.run_proc m "sense_task")
+         done))
+
+let test_cfg =
+  Test.make ~name:"CFG extraction (whole sense binary)"
+    (Staged.stage (fun () ->
+         let _, c, _ = Lazy.force prepared_sense in
+         ignore (Cfgir.Cfg.of_program c.Mote_lang.Compile.program)))
+
+let test_paths =
+  Test.make ~name:"path enumeration (report_task)"
+    (Staged.stage (fun () ->
+         let _, _, run = Lazy.force prepared_sense in
+         let model = Codetomo.Pipeline.model_of run "report_task" in
+         ignore (Tomo.Paths.enumerate model)))
+
+let test_em =
+  Test.make ~name:"EM estimate (sense_task, 1000 samples)"
+    (Staged.stage (fun () ->
+         let _, _, run = Lazy.force prepared_sense in
+         let samples = List.assoc "sense_task" run.Codetomo.Pipeline.samples in
+         let samples =
+           if Array.length samples > 1000 then Array.sub samples 0 1000 else samples
+         in
+         let model = Codetomo.Pipeline.model_of run "sense_task" in
+         let paths = Tomo.Paths.enumerate model in
+         ignore (Tomo.Em.estimate paths ~samples)))
+
+let test_placement =
+  Test.make ~name:"Pettis-Hansen + rewrite (sense)"
+    (Staged.stage (fun () ->
+         let _, c, run = Lazy.force prepared_sense in
+         ignore
+           (Layout.Rewrite.apply_all c.Mote_lang.Compile.program
+              ~algorithm:Layout.Algorithms.pettis_hansen
+              ~profiles:run.Codetomo.Pipeline.oracle_freqs)))
+
+let benchmark () =
+  ignore (Lazy.force prepared_sense);
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let grouped =
+    Test.make_grouped ~name:"codetomo"
+      [ test_simulator; test_cfg; test_paths; test_em; test_placement ]
+  in
+  let results = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Instance.monotonic_clock results
+  in
+  let lines = Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-55s %12.0f ns/run\n%!" name est
+      | _ -> Printf.printf "  %-55s (no estimate)\n%!" name)
+    (List.sort compare lines)
+
+let b10 () =
+  Experiments.section "B10. Micro-benchmarks (Bechamel, monotonic clock)";
+  benchmark ()

@@ -1,0 +1,455 @@
+(* ctomo: command-line front end for the Code Tomography pipeline.
+
+   Subcommands:
+     list      enumerate bundled workloads
+     inspect   static structure of a workload (source, CFGs)
+     dot       Graphviz CFG of one procedure
+     trace     cycle-annotated instruction trace of a procedure
+     profile   run the probe-instrumented binary and estimate branch
+               probabilities, comparing against the simulation oracle
+               (--save-profile persists the result)
+     place     full pipeline: profile, estimate, place, evaluate layouts
+               (--profile reuses a saved profile)
+     report    estimates with confidence intervals + fit checks + layout +
+               energy, in one shot
+     overhead  instrumentation cost comparison (probes vs edge counters)
+     asm       assemble a .s file; hexdump, disassemble or run it
+*)
+
+open Cmdliner
+module P = Codetomo.Pipeline
+module Cfg = Cfgir.Cfg
+module Program = Mote_isa.Program
+
+let workload_conv =
+  let parse s =
+    match Workloads.find s with
+    | w -> Ok w
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %S (try: %s)" s
+               (String.concat ", " (List.map (fun w -> w.Workloads.name) Workloads.all))))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.Workloads.name)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to operate on.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Environment seed.")
+
+let resolution_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "resolution" ] ~docv:"CYCLES" ~doc:"Timer resolution in cycles per tick.")
+
+let jitter_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"SIGMA" ~doc:"Gaussian timer jitter in cycles.")
+
+let horizon_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "horizon" ] ~docv:"CYCLES" ~doc:"Simulated cycles (default: workload's).")
+
+let method_conv =
+  let parse = function
+    | "em" -> Ok Tomo.Estimator.Em
+    | "moments" -> Ok Tomo.Estimator.Moments
+    | "naive" -> Ok Tomo.Estimator.Naive
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (em|moments|naive)" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Tomo.Estimator.method_name m))
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv Tomo.Estimator.Em
+    & info [ "method" ] ~docv:"METHOD" ~doc:"Estimator: em, moments or naive.")
+
+let config_of seed resolution jitter horizon =
+  {
+    P.seed;
+    horizon;
+    timer_resolution = resolution;
+    timer_jitter = jitter;
+    prediction = Mote_machine.Machine.Predict_not_taken;
+  }
+
+let theta_str theta =
+  "[" ^ String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") theta)) ^ "]"
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-10s %s (%d tasks, horizon %d cycles)\n" w.Workloads.name
+          w.Workloads.description (List.length w.Workloads.tasks) w.Workloads.horizon)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List bundled workloads") Term.(const run $ const ())
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let run w =
+    let c = Workloads.compiled w in
+    let program = c.Mote_lang.Compile.program in
+    Printf.printf "workload %s: %d flash words\n\n" w.Workloads.name
+      (Program.flash_words program);
+    Format.printf "%a@." Mote_lang.Ast.pp_program w.Workloads.program;
+    List.iter
+      (fun cfg ->
+        if cfg.Cfg.proc.Program.name <> Mote_lang.Compile.init_proc_name then
+          Format.printf "%a@." Cfg.pp cfg)
+      (Cfg.of_program program)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show a workload's source and control-flow graphs")
+    Term.(const run $ workload_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let proc_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "proc" ] ~docv:"PROC" ~doc:"Procedure name.")
+  in
+  let run w proc =
+    let c = Workloads.compiled w in
+    match Cfg.of_proc_name c.Mote_lang.Compile.program proc with
+    | cfg -> print_string (Cfg.to_dot cfg)
+    | exception Not_found ->
+        Printf.eprintf "no procedure %S in %s\n" proc w.Workloads.name;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz CFG for one procedure")
+    Term.(const run $ workload_arg $ proc_arg)
+
+(* --- profile --- *)
+
+let save_profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-profile" ] ~docv:"FILE"
+        ~doc:"Write the estimated edge-frequency profiles to FILE (feed it back with 'place --profile').")
+
+let profile_cmd =
+  let run w seed resolution jitter horizon method_ save =
+    let config = config_of seed resolution jitter horizon in
+    let run = P.profile ~config w in
+    Printf.printf "profiled %s: %d busy cycles, %d tasks dropped\n\n" w.Workloads.name
+      run.P.node_stats.Mote_os.Node.busy_cycles
+      run.P.node_stats.Mote_os.Node.tasks_dropped;
+    let estimations = P.estimate ~method_ run in
+    List.iter
+      (fun e ->
+        let samples = List.assoc e.P.proc run.P.samples in
+        let s = Stats.Summary.of_array samples in
+        Printf.printf "%s: %d samples, mean window %.1f cycles (sd %.1f)\n" e.P.proc
+          e.P.sample_count (Stats.Summary.mean s) (Stats.Summary.stddev s);
+        Printf.printf "  estimated theta: %s\n" (theta_str e.P.estimate.Tomo.Estimator.theta);
+        Printf.printf "  oracle theta:    %s\n" (theta_str e.P.truth);
+        Printf.printf "  MAE: %.4f%s\n\n" e.P.mae
+          (if e.P.estimate.Tomo.Estimator.truncated_paths then
+             "  (path enumeration truncated)"
+           else ""))
+      estimations;
+    match save with
+    | None -> ()
+    | Some path ->
+        Cfgir.Profile_io.save ~path (P.estimated_freqs run estimations);
+        Printf.printf "profiles written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Profile a workload and estimate its branch probabilities")
+    Term.(
+      const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
+      $ method_arg $ save_profile_arg)
+
+(* --- place --- *)
+
+let load_profile_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:"Use a saved profile (from 'profile --save-profile') for the tomography layout instead of re-estimating.")
+
+let place_cmd =
+  let run w seed resolution jitter horizon method_ profile_file =
+    let config = config_of seed resolution jitter horizon in
+    let run = P.profile ~config w in
+    let variants =
+      match profile_file with
+      | None -> P.compare_layouts ~method_ run
+      | Some path ->
+          let original = P.natural_binary run in
+          let lookup name =
+            match Cfg.of_proc_name original name with
+            | cfg -> Some cfg
+            | exception Not_found -> None
+          in
+          let profiles = Cfgir.Profile_io.load ~path ~lookup in
+          let placed =
+            P.placed_binary run ~profiles ~algorithm:Layout.Algorithms.pettis_hansen
+          in
+          let eval_config = { config with P.seed = config.P.seed + 1000 } in
+          [
+            P.run_binary ~config:eval_config w original ~label:"natural";
+            P.run_binary ~config:eval_config w placed ~label:"saved-profile";
+          ]
+    in
+    let rows =
+      List.map
+        (fun v ->
+          [
+            v.P.label;
+            string_of_int v.P.taken_transfers;
+            Report.Table.fmt_pct v.P.taken_rate;
+            string_of_int v.P.busy_cycles;
+            string_of_int v.P.flash_words;
+          ])
+        variants
+    in
+    print_endline
+      (Report.Table.render
+         ~headers:[ "layout"; "taken"; "rate"; "busy cycles"; "flash(w)" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Run the full pipeline and compare layouts (natural/worst/tomography/perfect)")
+    Term.(
+      const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
+      $ method_arg $ load_profile_arg)
+
+(* --- overhead --- *)
+
+let overhead_cmd =
+  let run w seed resolution jitter horizon =
+    let config = config_of seed resolution jitter horizon in
+    let c = Workloads.compiled w in
+    let base = c.Mote_lang.Compile.program in
+    let probes =
+      Mote_isa.Asm.assemble (Profilekit.Probes.instrument c.Mote_lang.Compile.items)
+    in
+    let edges =
+      Mote_isa.Asm.assemble (Profilekit.Edges.instrument c.Mote_lang.Compile.items)
+    in
+    let pr = Profilekit.Overhead.probes_report ~base ~instrumented:probes in
+    let er = Profilekit.Overhead.edges_report ~base ~instrumented:edges in
+    let busy binary = (P.run_binary ~config w binary ~label:"x").P.busy_cycles in
+    let base_busy = busy base in
+    let row label flash extra ram b =
+      [
+        label;
+        string_of_int flash;
+        string_of_int extra;
+        string_of_int ram;
+        string_of_int b;
+        Printf.sprintf "%.1f%%" (100.0 *. float_of_int (b - base_busy) /. float_of_int base_busy);
+      ]
+    in
+    print_endline
+      (Report.Table.render
+         ~headers:[ "instr."; "flash(w)"; "+flash"; "ram(w)"; "busy"; "+busy%" ]
+         [
+           row "none" (Program.flash_words base) 0 0 base_busy;
+           row "probes" pr.Profilekit.Overhead.flash_words
+             pr.Profilekit.Overhead.flash_overhead_words pr.Profilekit.Overhead.ram_words
+             (busy probes);
+           row "edges" er.Profilekit.Overhead.flash_words
+             er.Profilekit.Overhead.flash_overhead_words er.Profilekit.Overhead.ram_words
+             (busy edges);
+         ])
+  in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Compare instrumentation overheads on one workload")
+    Term.(const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let proc_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "p"; "proc" ] ~docv:"PROC" ~doc:"Procedure to trace.")
+  in
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "n" ] ~docv:"N" ~doc:"Invocations to trace.")
+  in
+  let run w proc n seed =
+    let c = Workloads.compiled w in
+    let program = c.Mote_lang.Compile.program in
+    if Program.find_proc program proc = None then begin
+      Printf.eprintf "no procedure %S in %s\n" proc w.Workloads.name;
+      exit 1
+    end;
+    let devices = Mote_machine.Devices.create () in
+    let env = Env.create { (w.Workloads.env_config) with Env.seed } in
+    Env.attach env devices;
+    let machine = Mote_machine.Machine.create ~program ~devices () in
+    ignore (Mote_machine.Machine.run_proc machine Mote_lang.Compile.init_proc_name);
+    Mote_machine.Machine.set_trace_hook machine
+      (Some
+         (fun ~pc ~instr ~cycles ->
+           Printf.printf "%8d  %4d: %s\n" cycles pc
+             (Mote_isa.Isa.to_string string_of_int instr)));
+    for i = 1 to n do
+      Printf.printf "--- invocation %d ---\n" i;
+      ignore (Mote_machine.Machine.run_proc machine proc)
+    done
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print a cycle-annotated instruction trace of a procedure's invocations")
+    Term.(const run $ workload_arg $ proc_arg $ count_arg $ seed_arg)
+
+(* --- report --- *)
+
+let report_cmd =
+  let run w seed resolution jitter horizon =
+    let config = config_of seed resolution jitter horizon in
+    let run = P.profile ~config w in
+    Printf.printf "=== %s: %s ===\n\n" w.Workloads.name w.Workloads.description;
+    (* Estimation with uncertainty and fit diagnostics. *)
+    let rng = Stats.Rng.create (seed + 31) in
+    List.iter
+      (fun proc ->
+        let samples = List.assoc proc run.P.samples in
+        let model = P.model_of run proc in
+        if Array.length samples = 0 then
+          Printf.printf "%s: no invocations observed\n" proc
+        else begin
+          let paths = Tomo.Paths.enumerate ~max_paths:20_000 model in
+          let est =
+            Tomo.Em.estimate ~sigma:(P.noise_sigma config) paths ~samples
+          in
+          let ci =
+            Tomo.Confidence.bootstrap ~replicates:30 rng paths ~samples
+              ~point:est.Tomo.Em.theta
+          in
+          let fit = Tomo.Fit.check ~sigma:est.Tomo.Em.sigma paths ~theta:est.Tomo.Em.theta ~samples in
+          let truth = List.assoc proc run.P.oracle_thetas in
+          Printf.printf "%s (%d samples):\n" proc (Array.length samples);
+          Array.iteri
+            (fun k i ->
+              Printf.printf
+                "  theta[%d] = %.3f  [%.3f, %.3f]   (oracle %.3f)\n" k
+                i.Tomo.Confidence.point i.Tomo.Confidence.lo i.Tomo.Confidence.hi
+                truth.(k))
+            ci.Tomo.Confidence.intervals;
+          Printf.printf "  fit: %s -> %s\n\n"
+            (Format.asprintf "%a" Tomo.Fit.pp fit)
+            (if Tomo.Fit.acceptable fit then "acceptable" else "SUSPECT")
+        end)
+      w.Workloads.profiled;
+    (* Layout and energy consequences. *)
+    let variants = P.compare_layouts run in
+    let horizon_cycles = Option.value ~default:w.Workloads.horizon config.P.horizon in
+    let rows =
+      List.map
+        (fun v ->
+          let energy =
+            Mote_os.Energy.of_parts ~busy_cycles:v.P.busy_cycles
+              ~idle_cycles:(horizon_cycles - v.P.busy_cycles) ~tx_words:v.P.tx_words ()
+          in
+          let days =
+            Mote_os.Energy.lifetime_days energy ~horizon_cycles
+              ~cycles_per_second:1_000_000
+          in
+          [
+            v.P.label;
+            string_of_int v.P.taken_transfers;
+            Report.Table.fmt_pct v.P.taken_rate;
+            string_of_int v.P.busy_cycles;
+            Printf.sprintf "%.3f" energy.Mote_os.Energy.total_mj;
+            Printf.sprintf "%.0f" days;
+          ])
+        variants
+    in
+    print_endline
+      (Report.Table.render
+         ~headers:[ "layout"; "stalls"; "rate"; "busy cycles"; "energy mJ"; "life (days)" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "One-stop workload report: estimates with confidence intervals and fit checks, \
+          layout comparison, energy and projected battery life")
+    Term.(const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg)
+
+(* --- asm --- *)
+
+let asm_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("hex", `Hex); ("dis", `Dis); ("run", `Run) ]) `Hex
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"hex: flash image; dis: disassembly; run: execute from 'main' until halt.")
+  in
+  let run file mode =
+    let ic = open_in file in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Mote_isa.Parse.parse_program text with
+    | exception Mote_isa.Parse.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" file line message;
+        exit 1
+    | exception Mote_isa.Asm.Error message ->
+        Printf.eprintf "%s: %s\n" file message;
+        exit 1
+    | program -> (
+        match mode with
+        | `Hex -> print_string (Mote_isa.Encode.hexdump program)
+        | `Dis -> Format.printf "%a@." Program.pp program
+        | `Run ->
+            let devices = Mote_machine.Devices.create () in
+            let machine = Mote_machine.Machine.create ~program ~devices () in
+            Mote_machine.Machine.run_from_symbol machine "main";
+            let stats = Mote_machine.Machine.stats machine in
+            Printf.printf "halted after %d instructions, %d cycles\n"
+              stats.Mote_machine.Machine.instructions stats.Mote_machine.Machine.cycles;
+            Printf.printf "r0=%d r1=%d r2=%d r3=%d leds=%d tx=[%s]\n"
+              (Mote_machine.Machine.reg machine 0)
+              (Mote_machine.Machine.reg machine 1)
+              (Mote_machine.Machine.reg machine 2)
+              (Mote_machine.Machine.reg machine 3)
+              (Mote_machine.Devices.leds devices)
+              (String.concat ";"
+                 (List.map string_of_int (Mote_machine.Devices.tx_log devices))))
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a CT16 source file; dump, disassemble or run it")
+    Term.(const run $ file_arg $ mode_arg)
+
+let () =
+  let info =
+    Cmd.info "ctomo" ~version:"1.0.0"
+      ~doc:"Code Tomography: estimation-based profiling for sensor network programs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; inspect_cmd; dot_cmd; trace_cmd; profile_cmd; place_cmd; overhead_cmd; report_cmd; asm_cmd ]))

@@ -1,0 +1,291 @@
+module Freq = Cfgir.Freq
+module Cfg = Cfgir.Cfg
+module Program = Mote_isa.Program
+module Asm = Mote_isa.Asm
+module Machine = Mote_machine.Machine
+module Devices = Mote_machine.Devices
+module Node = Mote_os.Node
+
+type config = {
+  seed : int;
+  horizon : int option;
+  timer_resolution : int;
+  timer_jitter : float;
+  prediction : Machine.prediction;
+}
+
+let default_config =
+  {
+    seed = 42;
+    horizon = None;
+    timer_resolution = 1;
+    timer_jitter = 0.0;
+    prediction = Machine.Predict_not_taken;
+  }
+
+type profile_run = {
+  workload : Workloads.t;
+  compiled : Mote_lang.Compile.t;
+  instrumented : Program.t;
+  config : config;
+  samples : (string * float array) list;
+  oracle_thetas : (string * float array) list;
+  oracle_freqs : (string * Freq.t) list;
+  invocations : (string * int) list;
+  node_stats : Node.run_stats;
+}
+
+let noise_sigma config =
+  Tomo.Em.default_sigma ~resolution:config.timer_resolution ~jitter:config.timer_jitter
+
+let horizon_of config (w : Workloads.t) = Option.value ~default:w.Workloads.horizon config.horizon
+
+let make_node ~config ~(workload : Workloads.t) ~binary =
+  let devices =
+    Devices.create ~timer_resolution:config.timer_resolution
+      ~timer_jitter:config.timer_jitter
+      ~rng:(Stats.Rng.create (config.seed + 7919))
+      ()
+  in
+  let machine = Machine.create ~prediction:config.prediction ~program:binary ~devices () in
+  let env =
+    Env.create { (workload.Workloads.env_config) with Env.seed = config.seed }
+  in
+  Node.create ~machine ~env ~tasks:workload.Workloads.tasks ()
+
+let profile ?(config = default_config) (workload : Workloads.t) =
+  let compiled = Workloads.compiled workload in
+  let instrumented_items = Profilekit.Probes.instrument compiled.Mote_lang.Compile.items in
+  let instrumented = Asm.assemble instrumented_items in
+  let node = make_node ~config ~workload ~binary:instrumented in
+  let machine = Node.machine node in
+  let oracle = Profilekit.Oracle.attach machine in
+  let node_stats = Node.run node ~until:(horizon_of config workload) in
+  let devices = Machine.devices machine in
+  let sample_set = Profilekit.Probes.collect ~program:instrumented ~devices in
+  let samples =
+    List.map
+      (fun proc -> (proc, Profilekit.Probes.samples_for sample_set proc))
+      workload.Workloads.profiled
+  in
+  (* Ground truth is expressed against the original binary's CFGs; branch
+     order is instrumentation-invariant so the vectors line up. *)
+  let original = compiled.Mote_lang.Compile.program in
+  (* Invocation counts come from the probe stream itself (one window per
+     invocation) — helper procedures are never posted as tasks, so the
+     scheduler's counts would miss them. *)
+  let invocations =
+    List.map (fun (proc, s) -> (proc, Array.length s)) samples
+  in
+  let oracle_thetas =
+    List.map
+      (fun proc -> (proc, Profilekit.Oracle.theta_vector oracle ~proc))
+      workload.Workloads.profiled
+  in
+  let oracle_freqs =
+    List.map
+      (fun proc ->
+        let inv = float_of_int (Node.invocations node_stats proc) in
+        let counts =
+          Profilekit.Oracle.counts oracle ~proc
+          |> List.map (fun (id, (tk, fl)) -> (id, (float_of_int tk, float_of_int fl)))
+        in
+        let cfg = Cfg.of_proc_name original proc in
+        (proc, Profilekit.Flowcount.freq_of_branch_counts cfg ~invocations:inv ~counts))
+      workload.Workloads.profiled
+  in
+  Profilekit.Oracle.detach oracle;
+  {
+    workload;
+    compiled;
+    instrumented;
+    config;
+    samples;
+    oracle_thetas;
+    oracle_freqs;
+    invocations;
+    node_stats;
+  }
+
+let original_cfg run proc =
+  Cfg.of_proc_name run.compiled.Mote_lang.Compile.program proc
+
+let model_of run proc = Tomo.Model.of_cfg (Cfg.of_proc_name run.instrumented proc)
+
+type estimation = {
+  proc : string;
+  estimate : Tomo.Estimator.t;
+  truth : float array;
+  mae : float;
+  sample_count : int;
+}
+
+let estimate ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visits run =
+  List.map
+    (fun proc ->
+      let all = List.assoc proc run.samples in
+      let samples =
+        match max_samples with
+        | Some n when Array.length all > n -> Array.sub all 0 n
+        | _ -> all
+      in
+      let model = model_of run proc in
+      let estimate =
+        Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
+          ?max_visits model ~samples
+      in
+      let truth = List.assoc proc run.oracle_thetas in
+      let mae =
+        if Array.length truth = 0 then 0.0 else Stats.Metrics.mae estimate.theta truth
+      in
+      { proc; estimate; truth; mae; sample_count = Array.length samples })
+    run.workload.Workloads.profiled
+
+(* Ambiguous branches (equal-cost arms) in the coordinates of the
+   probe-instrumented binary — the ones end-to-end timing cannot estimate
+   without help. *)
+let ambiguous_sites ?max_paths ?max_visits run =
+  List.concat_map
+    (fun proc ->
+      let model = model_of run proc in
+      match Tomo.Paths.enumerate ?max_paths ?max_visits model with
+      | paths ->
+          let id = Tomo.Identify.analyze paths in
+          List.map (fun block -> (proc, block)) (Tomo.Identify.ambiguous_blocks id model)
+      | exception Tomo.Paths.Too_complex _ -> [])
+    run.workload.Workloads.profiled
+
+let estimate_watermarked ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
+    ?max_visits run =
+  let sites = ambiguous_sites ?max_paths ?max_visits run in
+  if sites = [] then (estimate ~method_ ?max_samples ?max_paths ?max_visits run, [])
+  else begin
+    (* Rebuild the profiling image with delay stubs on the ambiguous taken
+       edges, then profile and estimate against that image's own model.
+       Branch order is preserved by both transformations, so the estimates
+       transfer to the original binary index-by-index. *)
+    let probed_items = Profilekit.Probes.instrument run.compiled.Mote_lang.Compile.items in
+    let watermarked_items = Profilekit.Watermark.instrument ~sites probed_items in
+    let binary = Asm.assemble watermarked_items in
+    let node = make_node ~config:run.config ~workload:run.workload ~binary in
+    let machine = Node.machine node in
+    let oracle = Profilekit.Oracle.attach machine in
+    ignore (Node.run node ~until:(horizon_of run.config run.workload));
+    let sample_set =
+      Profilekit.Probes.collect ~program:binary ~devices:(Machine.devices machine)
+    in
+    let estimations =
+      List.map
+        (fun proc ->
+          let all = Profilekit.Probes.samples_for sample_set proc in
+          let samples =
+            match max_samples with
+            | Some n when Array.length all > n -> Array.sub all 0 n
+            | _ -> all
+          in
+          let model = Tomo.Model.of_cfg (Cfg.of_proc_name binary proc) in
+          let estimate =
+            Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
+              ?max_visits model ~samples
+          in
+          let truth = Profilekit.Oracle.theta_vector oracle ~proc in
+          let mae =
+            if Array.length truth = 0 then 0.0
+            else Stats.Metrics.mae estimate.Tomo.Estimator.theta truth
+          in
+          { proc; estimate; truth; mae; sample_count = Array.length samples })
+        run.workload.Workloads.profiled
+    in
+    Profilekit.Oracle.detach oracle;
+    (estimations, sites)
+  end
+
+let estimated_freqs run estimations =
+  List.map
+    (fun e ->
+      let cfg = original_cfg run e.proc in
+      let model = Tomo.Model.of_cfg ~call_residual:0 ~window_correction:0 cfg in
+      let inv = float_of_int (List.assoc e.proc run.invocations) in
+      (e.proc, Tomo.Model.freq_of_theta model ~theta:e.estimate.theta ~invocations:inv))
+    estimations
+
+type variant = {
+  label : string;
+  binary : Program.t;
+  stats : Machine.stats;
+  taken_rate : float;
+  taken_transfers : int;
+  busy_cycles : int;
+  idle_cycles : int;
+  tx_words : int;
+  flash_words : int;
+}
+
+let run_binary ?(config = default_config) (workload : Workloads.t) binary ~label =
+  let node = make_node ~config ~workload ~binary in
+  let node_stats = Node.run node ~until:(horizon_of config workload) in
+  let machine = Node.machine node in
+  let stats = Machine.stats machine in
+  {
+    label;
+    binary;
+    stats;
+    taken_rate = Machine.taken_transfer_rate stats;
+    taken_transfers =
+      stats.Machine.mispredicted_branches + stats.Machine.unconditional_transfers;
+    busy_cycles = node_stats.Node.busy_cycles;
+    idle_cycles = node_stats.Node.idle_cycles;
+    tx_words = List.length (Devices.tx_log (Machine.devices machine));
+    flash_words = Program.flash_words binary;
+  }
+
+let natural_binary run = run.compiled.Mote_lang.Compile.program
+
+let placed_binary run ~profiles ~algorithm =
+  Layout.Rewrite.apply_all (natural_binary run) ~algorithm ~profiles
+
+(* Invert a profile: heavy edges become light and vice versa, so chain
+   merging actively separates hot pairs. *)
+let invert_freq freq =
+  let weights = Freq.weights freq in
+  let max_w = List.fold_left (fun acc (_, w) -> Stdlib.max acc w) 0.0 weights in
+  let out = Freq.create (Freq.cfg freq) ~invocations:(Freq.invocations freq) in
+  List.iter
+    (fun ((src, dst, kind), w) -> Freq.bump out ~src ~dst ~kind (max_w -. w))
+    weights;
+  out
+
+let worst_placement freq =
+  match Layout.Algorithms.pessimal freq with
+  | p -> p
+  | exception Invalid_argument _ ->
+      Layout.Algorithms.pettis_hansen (invert_freq freq)
+
+let worst_binary run =
+  placed_binary run ~profiles:run.oracle_freqs ~algorithm:worst_placement
+
+let compare_layouts ?eval_config ?(method_ = Tomo.Estimator.Em) run =
+  let eval_config =
+    match eval_config with
+    | Some c -> c
+    | None -> { run.config with seed = run.config.seed + 1000 }
+  in
+  let estimations = estimate ~method_ run in
+  let tomo_freqs = estimated_freqs run estimations in
+  let natural = natural_binary run in
+  let tomo =
+    placed_binary run ~profiles:tomo_freqs ~algorithm:Layout.Algorithms.pettis_hansen
+  in
+  let perfect =
+    placed_binary run ~profiles:run.oracle_freqs
+      ~algorithm:Layout.Algorithms.pettis_hansen
+  in
+  let worst = worst_binary run in
+  List.map
+    (fun (label, binary) -> run_binary ~config:eval_config run.workload binary ~label)
+    [
+      ("natural", natural);
+      ("worst", worst);
+      ("tomography", tomo);
+      ("perfect", perfect);
+    ]

@@ -1,0 +1,138 @@
+(** End-to-end Code Tomography pipelines.
+
+    This is the public face of the library: compile a workload, run its
+    probe-instrumented binary on the simulated mote under its stochastic
+    environment, estimate the Markov parameters from the end-to-end timing
+    stream, turn the estimates into edge-frequency profiles, feed those to
+    the placement pass, and measure what the re-laid-out binary actually
+    does.  Each stage is also callable on its own. *)
+
+module Freq = Cfgir.Freq
+
+type config = {
+  seed : int;  (** Environment seed for the profiling run. *)
+  horizon : int option;  (** Simulated cycles; default the workload's. *)
+  timer_resolution : int;  (** Cycles per timer tick (F3 sweeps this). *)
+  timer_jitter : float;  (** Gaussian timer noise, in cycles. *)
+  prediction : Mote_machine.Machine.prediction;
+      (** Static branch-prediction policy of the simulated core (ablation
+          A11 compares them). *)
+}
+
+val default_config : config
+(** seed 42, workload horizon, resolution 1, no jitter, predict
+    not-taken. *)
+
+(** {1 Profiling} *)
+
+type profile_run = {
+  workload : Workloads.t;
+  compiled : Mote_lang.Compile.t;
+  instrumented : Mote_isa.Program.t;
+  config : config;
+  samples : (string * float array) list;
+      (** Exclusive end-to-end cycles per profiled procedure. *)
+  oracle_thetas : (string * float array) list;
+      (** Ground-truth taken probabilities, canonical branch order. *)
+  oracle_freqs : (string * Freq.t) list;
+      (** Ground-truth profiles on the {e original} binary's CFGs. *)
+  invocations : (string * int) list;
+  node_stats : Mote_os.Node.run_stats;
+}
+
+val profile : ?config:config -> Workloads.t -> profile_run
+(** Run the workload once with probes and the oracle attached. *)
+
+val original_cfg : profile_run -> string -> Cfgir.Cfg.t
+val model_of : profile_run -> string -> Tomo.Model.t
+(** Timing model of the instrumented procedure. *)
+
+val noise_sigma : config -> float
+(** The measurement-noise scale implied by the timer configuration. *)
+
+(** {1 Estimation} *)
+
+type estimation = {
+  proc : string;
+  estimate : Tomo.Estimator.t;
+  truth : float array;
+  mae : float;
+  sample_count : int;
+}
+
+val estimate :
+  ?method_:Tomo.Estimator.method_ ->
+  ?max_samples:int ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  profile_run ->
+  estimation list
+(** Estimate every profiled procedure (capping at [max_samples] most
+    recent... first observations when given). *)
+
+val ambiguous_sites :
+  ?max_paths:int -> ?max_visits:int -> profile_run -> (string * int) list
+(** Branches whose probabilities end-to-end timing cannot determine
+    (equal-cost arms), as [(procedure, branch block id)] in the
+    instrumented binary's coordinates — see {!Tomo.Identify}. *)
+
+val estimate_watermarked :
+  ?method_:Tomo.Estimator.method_ ->
+  ?max_samples:int ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  profile_run ->
+  estimation list * (string * int) list
+(** Like {!estimate}, but when {!ambiguous_sites} is non-empty the
+    profiling image is rebuilt with {!Profilekit.Watermark} delay stubs on
+    those branches and re-profiled, restoring identifiability.  Returns
+    the estimations (aligned with the original branch order, as always)
+    and the watermarked sites.  The production binary is untouched —
+    watermarks exist only in the profiling build. *)
+
+val estimated_freqs : profile_run -> estimation list -> (string * Freq.t) list
+(** Convert estimates into profiles on the original CFGs (expected visits
+    under θ times the observed invocation counts). *)
+
+(** {1 Placement evaluation} *)
+
+type variant = {
+  label : string;
+  binary : Mote_isa.Program.t;
+  stats : Mote_machine.Machine.stats;
+  taken_rate : float;
+  taken_transfers : int;
+      (** Absolute stalling-transfer count (mispredicted conditionals plus
+          jumps) — the robust cross-layout metric:
+          the rate's denominator itself changes with layout (bridge jumps
+          add always-taken transfers), so a pessimal layout can show a
+          {e lower} rate while stalling more. *)
+  busy_cycles : int;
+  idle_cycles : int;
+  tx_words : int;  (** Radio payload words transmitted during the run. *)
+  flash_words : int;
+}
+
+val run_binary :
+  ?config:config -> Workloads.t -> Mote_isa.Program.t -> label:string -> variant
+(** Execute an arbitrary binary of the workload under the workload's
+    environment (fresh machine, given seed) and collect its dynamics. *)
+
+val natural_binary : profile_run -> Mote_isa.Program.t
+
+val placed_binary :
+  profile_run ->
+  profiles:(string * Freq.t) list ->
+  algorithm:(Freq.t -> Layout.Placement.t) ->
+  Mote_isa.Program.t
+
+val worst_binary : profile_run -> Mote_isa.Program.t
+(** Pessimal placement from the oracle profile (exhaustive on small
+    procedures, inverted Pettis–Hansen above that). *)
+
+val compare_layouts :
+  ?eval_config:config -> ?method_:Tomo.Estimator.method_ -> profile_run -> variant list
+(** The T4/F5 experiment for one workload: natural, worst-case,
+    tomography-guided and perfect-profile binaries, all run under the same
+    evaluation environment (default: profiling seed + 1000, so placement
+    is tested on fresh inputs from the same distribution). *)

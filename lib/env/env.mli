@@ -1,0 +1,54 @@
+(** Stochastic environments: the nondeterministic inputs that make a sensor
+    program's execution a Markov process.
+
+    An environment supplies ADC readings per channel and a radio arrival
+    process.  Channels are modelled independently; readings are clamped to
+    the 10-bit ADC range [0, 1023]. *)
+
+type sensor_model =
+  | Constant of int
+  | Uniform of int * int  (** Inclusive bounds. *)
+  | Gaussian of { mu : float; sigma : float }
+  | Random_walk of { start : int; step_sigma : float; lo : int; hi : int }
+      (** Slowly drifting phenomenon (temperature-like). *)
+  | Bursty of {
+      quiet : sensor_model;
+      active : sensor_model;
+      p_enter : float;  (** Quiet → active per reading. *)
+      p_exit : float;  (** Active → quiet per reading. *)
+    }
+      (** Two-state Markov-modulated source: long quiet stretches with
+          occasional event bursts — the canonical sensor-network input. *)
+
+type radio_model =
+  | Silent
+  | Poisson of { per_kilocycle : float; payload_lo : int; payload_hi : int }
+      (** Arrival rate per 1000 CPU cycles; payload uniform in bounds. *)
+
+type config = {
+  seed : int;
+  channels : (int * sensor_model) list;
+  radio : radio_model;
+}
+
+val default_config : config
+(** Seed 42, channel 0 Gaussian(512, 80), silent radio. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val read : t -> int -> int
+(** Sample channel; unconfigured channels read 0.  Advances the channel's
+    state (random walks drift, bursty sources switch). *)
+
+val attach : t -> Mote_machine.Devices.t -> unit
+(** Install {!read} as the device sensor function. *)
+
+val radio_arrivals : t -> from_cycle:int -> to_cycle:int -> (int * int) list
+(** Packet arrivals in the half-open cycle window: [(cycle, payload)] in
+    increasing cycle order. *)
+
+val adc_min : int
+val adc_max : int

@@ -1,0 +1,27 @@
+(** The binary-rewriting pass: materialize placements into a new program.
+
+    For every procedure, blocks are emitted in placement order; conditional
+    branches are re-pointed and their polarity flipped when the taken
+    successor becomes the fall-through; bridging jumps are inserted where a
+    fall-through edge was broken and deleted where a jump target became
+    adjacent.  Everything else — including calls across procedures — is
+    relinked symbolically and reassembled, so the output is a complete,
+    runnable binary. *)
+
+val items :
+  Mote_isa.Program.t ->
+  placements:(string * Placement.t) list ->
+  Mote_isa.Asm.item list
+(** Procedures not named in [placements] keep their natural order. *)
+
+val program :
+  Mote_isa.Program.t -> placements:(string * Placement.t) list -> Mote_isa.Program.t
+(** [items] followed by assembly. *)
+
+val apply_all :
+  Mote_isa.Program.t ->
+  algorithm:(Cfgir.Freq.t -> Placement.t) ->
+  profiles:(string * Cfgir.Freq.t) list ->
+  Mote_isa.Program.t
+(** Compute a placement for every profiled procedure with [algorithm] and
+    rewrite.  Procedures without a profile are left in natural order. *)

@@ -1,0 +1,29 @@
+let clamp ?(eps = 1e-6) p = Stdlib.max eps (Stdlib.min (1.0 -. eps) p)
+
+let project v =
+  let n = Array.length v in
+  if n = 0 then invalid_arg "Simplex.project: empty vector";
+  let sorted = Array.copy v in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* Find rho = max { j : sorted.(j) - (cumsum - 1)/(j+1) > 0 }. *)
+  let cumsum = ref 0.0 in
+  let theta = ref 0.0 in
+  let rho = ref (-1) in
+  Array.iteri
+    (fun j x ->
+      cumsum := !cumsum +. x;
+      let t = (!cumsum -. 1.0) /. float_of_int (j + 1) in
+      if x -. t > 0.0 then begin
+        rho := j;
+        theta := t
+      end)
+    sorted;
+  if !rho < 0 then Array.make n (1.0 /. float_of_int n)
+  else Array.map (fun x -> Stdlib.max 0.0 (x -. !theta)) v
+
+let normalize w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Simplex.normalize: empty vector";
+  if total <= 0.0 then Array.make n (1.0 /. float_of_int n)
+  else Array.map (fun x -> x /. total) w

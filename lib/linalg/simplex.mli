@@ -1,0 +1,16 @@
+(** Projection onto the probability simplex and related clamps.
+
+    The moment-matching estimator performs gradient steps on branch
+    probabilities; after each step the parameters must be pulled back into
+    the feasible set (each probability in [eps, 1-eps], sibling outgoing
+    probabilities summing to 1). *)
+
+val clamp : ?eps:float -> float -> float
+(** Clamp a single probability into [eps, 1 − eps] (default eps 1e-6). *)
+
+val project : float array -> float array
+(** Euclidean projection onto the simplex {x ≥ 0, Σx = 1} (Duchi et al.
+    2008). Returns a fresh array. *)
+
+val normalize : float array -> float array
+(** Rescale non-negative weights to sum to 1; uniform if all zero. *)

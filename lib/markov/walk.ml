@@ -1,0 +1,33 @@
+type record = { states : int list; reward : float; steps : int }
+
+let run rng chain ~rewards ~start ~max_steps =
+  if Array.length rewards <> Chain.size chain then
+    invalid_arg "Walk.run: reward size mismatch";
+  let rec go state acc_states acc_reward steps =
+    if steps > max_steps then failwith "Walk.run: walk exceeded max_steps without absorbing";
+    let acc_states = state :: acc_states in
+    let acc_reward = acc_reward +. rewards.(state) in
+    match Chain.step rng chain state with
+    | None -> { states = List.rev acc_states; reward = acc_reward; steps }
+    | Some next -> go next acc_states acc_reward (steps + 1)
+  in
+  go start [] 0.0 0
+
+let sample_rewards rng chain ~rewards ~start ~samples ~max_steps =
+  Array.init samples (fun _ -> (run rng chain ~rewards ~start ~max_steps).reward)
+
+let edge_counts rng chain ~start ~samples ~max_steps =
+  let n = Chain.size chain in
+  let counts = Array.make_matrix n n 0 in
+  let rewards = Array.make n 0.0 in
+  for _ = 1 to samples do
+    let { states; _ } = run rng chain ~rewards ~start ~max_steps in
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+          counts.(a).(b) <- counts.(a).(b) + 1;
+          pairs rest
+      | [ _ ] | [] -> ()
+    in
+    pairs states
+  done;
+  counts

@@ -1,0 +1,37 @@
+(** Sampling random walks through a chain until absorption.
+
+    Used by the synthetic-model tests: walk the ground-truth chain, record
+    rewards, and check that the tomography estimator recovers the
+    parameters from those observations alone. *)
+
+type record = {
+  states : int list;  (** Visited transient states, in order. *)
+  reward : float;  (** Accumulated per-state reward. *)
+  steps : int;
+}
+
+val run :
+  Stats.Rng.t -> Chain.t -> rewards:float array -> start:int -> max_steps:int -> record
+(** Walk from [start] until absorption (leak fires) or [max_steps] is hit.
+    Hitting the cap raises [Failure] — chains in this codebase must
+    absorb. *)
+
+val sample_rewards :
+  Stats.Rng.t ->
+  Chain.t ->
+  rewards:float array ->
+  start:int ->
+  samples:int ->
+  max_steps:int ->
+  float array
+(** [samples] independent accumulated-reward draws. *)
+
+val edge_counts :
+  Stats.Rng.t ->
+  Chain.t ->
+  start:int ->
+  samples:int ->
+  max_steps:int ->
+  int array array
+(** Total traversal counts per (src, dst) edge over all walks — the exact
+    profile a full edge instrumentation would observe. *)

@@ -1,0 +1,115 @@
+type item = Proc of string | Label of string | I of string Isa.instr
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let assemble items =
+  (* Pass 1: assign each instruction an address; record labels and procedure
+     starts. *)
+  let labels = Hashtbl.create 64 in
+  let add_label name addr =
+    if Hashtbl.mem labels name then error "duplicate label %S" name;
+    Hashtbl.replace labels name addr
+  in
+  let proc_starts = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Proc name ->
+          add_label name !count;
+          proc_starts := (name, !count) :: !proc_starts
+      | Label name -> add_label name !count
+      | I _ -> incr count)
+    items;
+  let total = !count in
+  let proc_starts = List.rev !proc_starts in
+  (* Pass 2: emit with resolved targets. *)
+  let code = Array.make total Isa.Nop in
+  let addr = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Proc _ | Label _ -> ()
+      | I ins ->
+          let resolved =
+            Isa.map_label
+              (fun name ->
+                match Hashtbl.find_opt labels name with
+                | Some a -> a
+                | None -> error "unknown label %S" name)
+              ins
+          in
+          code.(!addr) <- resolved;
+          incr addr)
+    items;
+  let rec extents = function
+    | [] -> []
+    | [ (name, entry) ] -> [ { Program.name; entry; finish = total } ]
+    | (name, entry) :: ((_, next) :: _ as rest) ->
+        { Program.name; entry; finish = next } :: extents rest
+  in
+  let procs = extents proc_starts in
+  List.iter
+    (fun { Program.name; entry; finish } ->
+      if entry = finish then error "procedure %S is empty" name)
+    procs;
+  let symbols = Hashtbl.fold (fun name a acc -> (name, a) :: acc) labels [] in
+  let symbols = List.sort (fun (_, a) (_, b) -> compare a b) symbols in
+  Program.make ~code ~symbols ~procs
+
+let disassemble program =
+  let code = Program.code program in
+  let n = Array.length code in
+  (* Collect every address that needs a label: explicit symbols plus any
+     branch target. *)
+  let names = Hashtbl.create 64 in
+  List.iter (fun (name, addr) -> Hashtbl.replace names addr name) (Program.symbols program);
+  Array.iter
+    (fun ins ->
+      match Isa.label ins with
+      | Some target when not (Hashtbl.mem names target) ->
+          Hashtbl.replace names target (Printf.sprintf ".La%d" target)
+      | Some _ | None -> ())
+    code;
+  let proc_entries =
+    List.map (fun p -> (p.Program.entry, p.Program.name)) (Program.procs program)
+  in
+  let items = ref [] in
+  for addr = n - 1 downto 0 do
+    let ins = Isa.map_label (fun a -> Hashtbl.find names a) code.(addr) in
+    items := I ins :: !items;
+    (match List.assoc_opt addr proc_entries with
+    | Some name -> items := Proc name :: !items
+    | None -> (
+        match Hashtbl.find_opt names addr with
+        | Some name -> items := Label name :: !items
+        | None -> ()))
+  done;
+  !items
+
+let nop = I Isa.Nop
+let halt = I Isa.Halt
+let movi r i = I (Isa.Movi (r, i))
+let mov a b = I (Isa.Mov (a, b))
+let add d a b = I (Isa.Alu (Isa.Add, d, a, b))
+let sub d a b = I (Isa.Alu (Isa.Sub, d, a, b))
+let mul d a b = I (Isa.Alu (Isa.Mul, d, a, b))
+let addi d a i = I (Isa.Alui (Isa.Add, d, a, i))
+let subi d a i = I (Isa.Alui (Isa.Sub, d, a, i))
+let andi d a i = I (Isa.Alui (Isa.And, d, a, i))
+let shri d a i = I (Isa.Alui (Isa.Shr, d, a, i))
+let shli d a i = I (Isa.Alui (Isa.Shl, d, a, i))
+let cmp a b = I (Isa.Cmp (a, b))
+let cmpi a i = I (Isa.Cmpi (a, i))
+let ld d a o = I (Isa.Ld (d, a, o))
+let st a o s = I (Isa.St (a, o, s))
+let push r = I (Isa.Push r)
+let pop r = I (Isa.Pop r)
+let br c l = I (Isa.Br (c, l))
+let jmp l = I (Isa.Jmp l)
+let call l = I (Isa.Call l)
+let ret = I Isa.Ret
+let input r p = I (Isa.In (r, p))
+let output p r = I (Isa.Out (p, r))

@@ -1,0 +1,45 @@
+(** Symbolic assembly and the assembler.
+
+    Programs are written as item lists; [assemble] resolves string labels to
+    absolute addresses and derives procedure extents from [Proc] markers.
+    A procedure extends until the next [Proc] marker (or end of program). *)
+
+type item =
+  | Proc of string  (** Start a procedure; also defines a label. *)
+  | Label of string
+  | I of string Isa.instr
+
+exception Error of string
+(** Duplicate labels, unknown targets, empty procedures. *)
+
+val assemble : item list -> Program.t
+
+val disassemble : Program.t -> item list
+(** Inverse of {!assemble} up to generated label names ([".La<addr>"]). *)
+
+(** Convenience constructors, so assembly reads like assembly. *)
+
+val nop : item
+val halt : item
+val movi : Isa.reg -> int -> item
+val mov : Isa.reg -> Isa.reg -> item
+val add : Isa.reg -> Isa.reg -> Isa.reg -> item
+val sub : Isa.reg -> Isa.reg -> Isa.reg -> item
+val mul : Isa.reg -> Isa.reg -> Isa.reg -> item
+val addi : Isa.reg -> Isa.reg -> int -> item
+val subi : Isa.reg -> Isa.reg -> int -> item
+val andi : Isa.reg -> Isa.reg -> int -> item
+val shri : Isa.reg -> Isa.reg -> int -> item
+val shli : Isa.reg -> Isa.reg -> int -> item
+val cmp : Isa.reg -> Isa.reg -> item
+val cmpi : Isa.reg -> int -> item
+val ld : Isa.reg -> Isa.reg -> int -> item
+val st : Isa.reg -> int -> Isa.reg -> item
+val push : Isa.reg -> item
+val pop : Isa.reg -> item
+val br : Isa.cond -> string -> item
+val jmp : string -> item
+val call : string -> item
+val ret : item
+val input : Isa.reg -> Isa.port -> item
+val output : Isa.port -> Isa.reg -> item

@@ -1,0 +1,196 @@
+exception Encoding_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Encoding_error s)) fmt
+
+(* Major opcodes.  0x8..0xF carry the eight ALU reg-reg operations so that
+   three register fields fit in one word. *)
+let op_misc = 0x0
+let op_movi = 0x1
+let op_alui = 0x2
+let op_cmpi = 0x3
+let op_ld = 0x4
+let op_st = 0x5
+let op_br = 0x6
+let op_ctl = 0x7
+let op_alu_base = 0x8
+
+(* Minor codes under op_misc (in the low nibble). *)
+let misc_nop = 0
+let misc_halt = 1
+let misc_ret = 2
+let misc_mov = 3
+let misc_cmp = 4
+let misc_push = 5
+let misc_pop = 6
+let misc_in = 7
+let misc_out = 8
+
+let alu_code = function
+  | Isa.Add -> 0
+  | Isa.Sub -> 1
+  | Isa.Mul -> 2
+  | Isa.And -> 3
+  | Isa.Or -> 4
+  | Isa.Xor -> 5
+  | Isa.Shl -> 6
+  | Isa.Shr -> 7
+
+let alu_of_code = function
+  | 0 -> Isa.Add
+  | 1 -> Isa.Sub
+  | 2 -> Isa.Mul
+  | 3 -> Isa.And
+  | 4 -> Isa.Or
+  | 5 -> Isa.Xor
+  | 6 -> Isa.Shl
+  | 7 -> Isa.Shr
+  | c -> error "bad ALU code %d" c
+
+let cond_code = function
+  | Isa.Eq -> 0
+  | Isa.Ne -> 1
+  | Isa.Lt -> 2
+  | Isa.Ge -> 3
+  | Isa.Le -> 4
+  | Isa.Gt -> 5
+
+let cond_of_code = function
+  | 0 -> Isa.Eq
+  | 1 -> Isa.Ne
+  | 2 -> Isa.Lt
+  | 3 -> Isa.Ge
+  | 4 -> Isa.Le
+  | 5 -> Isa.Gt
+  | c -> error "bad condition code %d" c
+
+let port_code = function
+  | Isa.P_timer -> 0
+  | Isa.P_radio_rx -> 1
+  | Isa.P_radio_tx -> 2
+  | Isa.P_leds -> 3
+  | Isa.P_probe -> 4
+  | Isa.P_counter -> 5
+  | Isa.P_sensor ch ->
+      if ch < 0 || ch > 7 then error "sensor channel %d not encodable (0..7)" ch;
+      8 + ch
+
+let port_of_code = function
+  | 0 -> Isa.P_timer
+  | 1 -> Isa.P_radio_rx
+  | 2 -> Isa.P_radio_tx
+  | 3 -> Isa.P_leds
+  | 4 -> Isa.P_probe
+  | 5 -> Isa.P_counter
+  | c when c >= 8 && c <= 15 -> Isa.P_sensor (c - 8)
+  | c -> error "bad port code %d" c
+
+let word ~op ~f1 ~f2 ~f3 =
+  if op land 0xF <> op || f1 land 0xF <> f1 || f2 land 0xF <> f2 || f3 land 0xF <> f3 then
+    error "field overflow (op=%d f1=%d f2=%d f3=%d)" op f1 f2 f3;
+  (op lsl 12) lor (f1 lsl 8) lor (f2 lsl 4) lor f3
+
+let imm_word v =
+  if v < -32768 || v > 65535 then error "immediate %d does not fit 16 bits" v;
+  v land 0xFFFF
+
+(* Canonical immediates decode as signed; addresses as unsigned. *)
+let signed v = if v > 32767 then v - 65536 else v
+
+let encode_instr = function
+  | Isa.Nop -> [ word ~op:op_misc ~f1:0 ~f2:0 ~f3:misc_nop ]
+  | Isa.Halt -> [ word ~op:op_misc ~f1:0 ~f2:0 ~f3:misc_halt ]
+  | Isa.Ret -> [ word ~op:op_misc ~f1:0 ~f2:0 ~f3:misc_ret ]
+  | Isa.Mov (d, s) -> [ word ~op:op_misc ~f1:d ~f2:s ~f3:misc_mov ]
+  | Isa.Cmp (a, b) -> [ word ~op:op_misc ~f1:a ~f2:b ~f3:misc_cmp ]
+  | Isa.Push r -> [ word ~op:op_misc ~f1:r ~f2:0 ~f3:misc_push ]
+  | Isa.Pop r -> [ word ~op:op_misc ~f1:r ~f2:0 ~f3:misc_pop ]
+  | Isa.In (r, p) -> [ word ~op:op_misc ~f1:r ~f2:(port_code p) ~f3:misc_in ]
+  | Isa.Out (p, r) -> [ word ~op:op_misc ~f1:r ~f2:(port_code p) ~f3:misc_out ]
+  | Isa.Movi (r, v) -> [ word ~op:op_movi ~f1:r ~f2:0 ~f3:0; imm_word v ]
+  | Isa.Alui (op, d, a, v) ->
+      [ word ~op:op_alui ~f1:d ~f2:a ~f3:(alu_code op); imm_word v ]
+  | Isa.Cmpi (a, v) -> [ word ~op:op_cmpi ~f1:a ~f2:0 ~f3:0; imm_word v ]
+  | Isa.Ld (d, a, off) -> [ word ~op:op_ld ~f1:d ~f2:a ~f3:0; imm_word off ]
+  | Isa.St (a, off, s) -> [ word ~op:op_st ~f1:a ~f2:s ~f3:0; imm_word off ]
+  | Isa.Br (c, target) -> [ word ~op:op_br ~f1:(cond_code c) ~f2:0 ~f3:0; imm_word target ]
+  | Isa.Jmp target -> [ word ~op:op_ctl ~f1:0 ~f2:0 ~f3:0; imm_word target ]
+  | Isa.Call target -> [ word ~op:op_ctl ~f1:0 ~f2:0 ~f3:1; imm_word target ]
+  | Isa.Alu (op, d, a, b) -> [ word ~op:(op_alu_base + alu_code op) ~f1:d ~f2:a ~f3:b ]
+
+let decode_instr = function
+  | [] -> None
+  | w :: rest ->
+      if w < 0 || w > 0xFFFF then error "word %d out of range" w;
+      let op = (w lsr 12) land 0xF in
+      let f1 = (w lsr 8) land 0xF in
+      let f2 = (w lsr 4) land 0xF in
+      let f3 = w land 0xF in
+      let take_imm rest =
+        match rest with
+        | imm :: rest' ->
+            if imm < 0 || imm > 0xFFFF then error "immediate word %d out of range" imm;
+            (imm, rest')
+        | [] -> error "truncated instruction (missing immediate)"
+      in
+      let one instr = Some (instr, rest) in
+      if op >= op_alu_base then one (Isa.Alu (alu_of_code (op - op_alu_base), f1, f2, f3))
+      else if op = op_misc then
+        match f3 with
+        | c when c = misc_nop -> one Isa.Nop
+        | c when c = misc_halt -> one Isa.Halt
+        | c when c = misc_ret -> one Isa.Ret
+        | c when c = misc_mov -> one (Isa.Mov (f1, f2))
+        | c when c = misc_cmp -> one (Isa.Cmp (f1, f2))
+        | c when c = misc_push -> one (Isa.Push f1)
+        | c when c = misc_pop -> one (Isa.Pop f1)
+        | c when c = misc_in -> one (Isa.In (f1, port_of_code f2))
+        | c when c = misc_out -> one (Isa.Out (port_of_code f2, f1))
+        | c -> error "bad misc minor %d" c
+      else begin
+        let imm, rest' = take_imm rest in
+        let instr =
+          if op = op_movi then Isa.Movi (f1, signed imm)
+          else if op = op_alui then Isa.Alui (alu_of_code f3, f1, f2, signed imm)
+          else if op = op_cmpi then Isa.Cmpi (f1, signed imm)
+          else if op = op_ld then Isa.Ld (f1, f2, signed imm)
+          else if op = op_st then Isa.St (f1, signed imm, f2)
+          else if op = op_br then Isa.Br (cond_of_code f1, imm)
+          else if op = op_ctl then
+            match f3 with
+            | 0 -> Isa.Jmp imm
+            | 1 -> Isa.Call imm
+            | c -> error "bad control minor %d" c
+          else error "bad opcode %d" op
+        in
+        Some (instr, rest')
+      end
+
+let encode program =
+  let words =
+    Array.to_list (Program.code program) |> List.concat_map encode_instr
+  in
+  Array.of_list words
+
+let decode ~words ~symbols ~procs =
+  let rec go stream acc =
+    match decode_instr stream with
+    | None -> List.rev acc
+    | Some (instr, rest) -> go rest (instr :: acc)
+  in
+  let code = Array.of_list (go (Array.to_list words) []) in
+  Program.make ~code ~symbols ~procs
+
+let hexdump program =
+  let buf = Buffer.create 512 in
+  let word_addr = ref 0 in
+  Array.iteri
+    (fun idx instr ->
+      let words = encode_instr instr in
+      Buffer.add_string buf
+        (Printf.sprintf "%04x  %-12s  %s\n" !word_addr
+           (String.concat " " (List.map (Printf.sprintf "%04x") words))
+           (Isa.to_string string_of_int instr));
+      word_addr := !word_addr + List.length words;
+      ignore idx)
+    (Program.code program);
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Binary encoding of CT16 instructions: the actual flash image.
+
+    Each instruction occupies one or two 16-bit words, matching
+    {!Isa.size}:
+
+    {v
+    word 0: [15:12] opcode | [11:8] rd/ra | [7:4] rb/ra2 | [3:0] minor
+    word 1: 16-bit immediate / absolute address (when present)
+    v}
+
+    The encoding exists so the flash-occupancy numbers in the overhead
+    experiments correspond to a concrete image, and so programs can be
+    shipped to (simulated) motes as word streams.  [decode] is a strict
+    inverse of [encode] for every well-formed program. *)
+
+exception Encoding_error of string
+
+val encode_instr : int Isa.instr -> int list
+(** One or two words, each in [0, 0xFFFF].
+    @raise Encoding_error when an immediate does not fit 16 bits. *)
+
+val decode_instr : int list -> (int Isa.instr * int list) option
+(** Decode one instruction from the word stream; [None] at end of input.
+    @raise Encoding_error on malformed words or truncated immediates. *)
+
+val encode : Program.t -> int array
+(** Flash image of the whole program (length = {!Program.flash_words}). *)
+
+val decode : words:int array -> symbols:(string * int) list -> procs:Program.proc_info list -> Program.t
+(** Rebuild a program from its image.  Addresses in control transfers are
+    instruction indices, recovered by re-walking the stream; the symbol
+    table and procedure extents are metadata the image itself does not
+    carry.
+    @raise Encoding_error on malformed images. *)
+
+val hexdump : Program.t -> string
+(** Human-readable image listing (address, words, disassembly). *)

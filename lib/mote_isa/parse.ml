@@ -1,0 +1,208 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_text items =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun item ->
+      match item with
+      | Asm.Proc name -> Buffer.add_string buf (Printf.sprintf ".proc %s\n" name)
+      | Asm.Label name -> Buffer.add_string buf (Printf.sprintf "%s:\n" name)
+      | Asm.I instr -> Buffer.add_string buf ("  " ^ Isa.to_string Fun.id instr ^ "\n"))
+    items;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Lexing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  let cut = ref (String.length line) in
+  String.iteri (fun i c -> if (c = ';' || c = '#') && i < !cut then cut := i) line;
+  String.sub line 0 !cut
+
+let tokenize line =
+  (* Commas and brackets separate; '[' / ']' / '+' inside memory operands
+     are handled by normalizing them to spaces around a kept marker. *)
+  let b = Buffer.create (String.length line) in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' -> Buffer.add_char b ' '
+      | '[' | ']' | '+' ->
+          Buffer.add_char b ' ';
+          Buffer.add_char b c;
+          Buffer.add_char b ' '
+      | c -> Buffer.add_char b c)
+    line;
+  Buffer.to_bytes b |> Bytes.to_string |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let parse_reg ln tok =
+  let bad () = fail ln "expected register, got %S" tok in
+  if String.length tok < 2 || tok.[0] <> 'r' then bad ();
+  match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+  | Some r when r >= 0 && r < Isa.num_regs -> r
+  | Some r -> fail ln "register r%d out of range" r
+  | None -> bad ()
+
+let parse_int ln tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> fail ln "expected integer, got %S" tok
+
+let parse_port ln tok =
+  match tok with
+  | "timer" -> Isa.P_timer
+  | "radio.rx" -> Isa.P_radio_rx
+  | "radio.tx" -> Isa.P_radio_tx
+  | "leds" -> Isa.P_leds
+  | "probe" -> Isa.P_probe
+  | "counter" -> Isa.P_counter
+  | _ ->
+      (* sensor[ch] arrives as "sensor" "[" ch "]" pre-split, but also
+         accept the joined form. *)
+      if String.length tok > 7 && String.sub tok 0 7 = "sensor[" && tok.[String.length tok - 1] = ']'
+      then Isa.P_sensor (parse_int ln (String.sub tok 7 (String.length tok - 8)))
+      else fail ln "unknown port %S" tok
+
+let alu_by_name =
+  [
+    ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul); ("and", Isa.And);
+    ("or", Isa.Or); ("xor", Isa.Xor); ("shl", Isa.Shl); ("shr", Isa.Shr);
+  ]
+
+let cond_by_name =
+  [
+    ("eq", Isa.Eq); ("ne", Isa.Ne); ("lt", Isa.Lt); ("ge", Isa.Ge);
+    ("le", Isa.Le); ("gt", Isa.Gt);
+  ]
+
+(* Memory operand: tokens "[", base, "+", off, "]" (off optional). *)
+let parse_mem ln = function
+  | "[" :: base :: "+" :: off :: "]" :: rest ->
+      ((parse_reg ln base, parse_int ln off), rest)
+  | "[" :: base :: "]" :: rest -> ((parse_reg ln base, 0), rest)
+  | tok :: _ -> fail ln "expected memory operand, got %S" tok
+  | [] -> fail ln "expected memory operand"
+
+let parse_instr ln mnemonic operands =
+  let reg1 () = match operands with [ a ] -> parse_reg ln a | _ -> fail ln "expected 1 register" in
+  let reg2 () =
+    match operands with
+    | [ a; b ] -> (parse_reg ln a, parse_reg ln b)
+    | _ -> fail ln "expected 2 registers"
+  in
+  let reg3 () =
+    match operands with
+    | [ a; b; c ] -> (parse_reg ln a, parse_reg ln b, parse_reg ln c)
+    | _ -> fail ln "expected 3 registers"
+  in
+  let reg2imm () =
+    match operands with
+    | [ a; b; c ] -> (parse_reg ln a, parse_reg ln b, parse_int ln c)
+    | _ -> fail ln "expected rd, ra, imm"
+  in
+  match mnemonic with
+  | "nop" -> Isa.Nop
+  | "halt" -> Isa.Halt
+  | "ret" -> Isa.Ret
+  | "movi" -> (
+      match operands with
+      | [ r; v ] -> Isa.Movi (parse_reg ln r, parse_int ln v)
+      | _ -> fail ln "movi expects rd, imm")
+  | "mov" ->
+      let d, s = reg2 () in
+      Isa.Mov (d, s)
+  | "cmp" ->
+      let a, b = reg2 () in
+      Isa.Cmp (a, b)
+  | "cmpi" -> (
+      match operands with
+      | [ r; v ] -> Isa.Cmpi (parse_reg ln r, parse_int ln v)
+      | _ -> fail ln "cmpi expects ra, imm")
+  | "push" -> Isa.Push (reg1 ())
+  | "pop" -> Isa.Pop (reg1 ())
+  | "ld" -> (
+      match operands with
+      | rd :: mem ->
+          let (base, off), rest = parse_mem ln mem in
+          if rest <> [] then fail ln "trailing tokens after ld";
+          Isa.Ld (parse_reg ln rd, base, off)
+      | [] -> fail ln "ld expects rd, [ra+off]")
+  | "st" -> (
+      let (base, off), rest = parse_mem ln operands in
+      match rest with
+      | [ rs ] -> Isa.St (base, off, parse_reg ln rs)
+      | _ -> fail ln "st expects [ra+off], rs")
+  | "jmp" -> (
+      match operands with [ l ] -> Isa.Jmp l | _ -> fail ln "jmp expects a label")
+  | "call" -> (
+      match operands with [ l ] -> Isa.Call l | _ -> fail ln "call expects a label")
+  | "in" -> (
+      match operands with
+      | r :: port -> (
+          match port with
+          | [ p ] -> Isa.In (parse_reg ln r, parse_port ln p)
+          | [ "sensor"; "["; ch; "]" ] -> Isa.In (parse_reg ln r, Isa.P_sensor (parse_int ln ch))
+          | _ -> fail ln "in expects rd, port")
+      | [] -> fail ln "in expects rd, port")
+  | "out" -> (
+      match operands with
+      | [ p; r ] -> Isa.Out (parse_port ln p, parse_reg ln r)
+      | [ "sensor"; "["; ch; "]"; r ] ->
+          Isa.Out (Isa.P_sensor (parse_int ln ch), parse_reg ln r)
+      | _ -> fail ln "out expects port, rs")
+  | m -> (
+      (* br.<cond> / ALU reg form / ALU immediate form (suffix 'i'). *)
+      match String.index_opt m '.' with
+      | Some dot when String.sub m 0 dot = "br" -> (
+          let cond_name = String.sub m (dot + 1) (String.length m - dot - 1) in
+          match List.assoc_opt cond_name cond_by_name with
+          | Some cond -> (
+              match operands with
+              | [ l ] -> Isa.Br (cond, l)
+              | _ -> fail ln "br expects a label")
+          | None -> fail ln "unknown condition %S" cond_name)
+      | _ -> (
+          match List.assoc_opt m alu_by_name with
+          | Some op ->
+              let d, a, b = reg3 () in
+              Isa.Alu (op, d, a, b)
+          | None ->
+              if String.length m > 1 && m.[String.length m - 1] = 'i' then
+                let base = String.sub m 0 (String.length m - 1) in
+                match List.assoc_opt base alu_by_name with
+                | Some op ->
+                    let d, a, v = reg2imm () in
+                    Isa.Alui (op, d, a, v)
+                | None -> fail ln "unknown mnemonic %S" m
+              else fail ln "unknown mnemonic %S" m))
+
+let parse text =
+  let items = ref [] in
+  let push item = items := item :: !items in
+  String.split_on_char '\n' text
+  |> List.iteri (fun idx raw ->
+         let ln = idx + 1 in
+         let line = strip_comment raw in
+         let tokens = tokenize line in
+         let rec handle = function
+           | [] -> ()
+           | ".proc" :: name :: rest ->
+               if rest <> [] then fail ln "trailing tokens after .proc";
+               push (Asm.Proc name)
+           | tok :: rest when String.length tok > 1 && tok.[String.length tok - 1] = ':' ->
+               push (Asm.Label (String.sub tok 0 (String.length tok - 1)));
+               handle rest
+           | mnemonic :: operands -> push (Asm.I (parse_instr ln mnemonic operands))
+         in
+         handle tokens);
+  List.rev !items
+
+let parse_program text = Asm.assemble (parse text)

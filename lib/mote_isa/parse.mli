@@ -1,0 +1,29 @@
+(** Textual assembly: a parser and matching printer for CT16 source files.
+
+    Syntax (one item per line; [';'] and ['#'] start comments):
+    {v
+    .proc blink
+    loop:  movi  r0, 5
+           subi  r0, r0, 1
+           cmpi  r0, 0
+           br.gt loop
+           ld    r1, [r2+3]
+           st    [r2+3], r1
+           in    r0, sensor[2]
+           out   leds, r0
+           call  helper
+           ret
+    v}
+    A label may share a line with an instruction.  [to_text] produces
+    exactly this syntax, so [parse (to_text items) = items]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Asm.item list
+(** @raise Parse_error with a 1-based line number. *)
+
+val parse_program : string -> Program.t
+(** [parse] followed by {!Asm.assemble}.
+    @raise Parse_error / {!Asm.Error}. *)
+
+val to_text : Asm.item list -> string

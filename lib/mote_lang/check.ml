@@ -1,0 +1,113 @@
+open Ast
+
+let duplicates names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.replace seen n ();
+        false
+      end)
+    names
+
+let program (prog : Ast.program) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let proc_tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace proc_tbl p.name p) prog.procs;
+  (* Name uniqueness. *)
+  List.iter (fun n -> err "duplicate global %S" n) (duplicates (List.map fst prog.globals));
+  List.iter (fun n -> err "duplicate array %S" n) (duplicates (List.map fst prog.arrays));
+  List.iter
+    (fun (a, size) ->
+      if size <= 0 then err "array %S has non-positive size %d" a size;
+      if List.mem_assoc a prog.globals then err "array %S collides with a global" a)
+    prog.arrays;
+  List.iter (fun n -> err "duplicate procedure %S" n)
+    (duplicates (List.map (fun p -> p.name) prog.procs));
+  let global_names = List.map fst prog.globals in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun n -> err "procedure %S: duplicate variable %S" p.name n)
+        (duplicates (p.params @ p.locals)))
+    prog.procs;
+  (* Per-procedure reference and arity checks. *)
+  let check_proc p =
+    let in_scope x =
+      List.mem x p.params || List.mem x p.locals || List.mem x global_names
+    in
+    let check_array a =
+      if not (List.mem_assoc a prog.arrays) then
+        err "procedure %S: unknown array %S" p.name a
+    in
+    let check_call context f args =
+      match Hashtbl.find_opt proc_tbl f with
+      | None -> err "procedure %S: call to unknown procedure %S" p.name f
+      | Some callee ->
+          if List.length callee.params <> List.length args then
+            err "procedure %S: %s %S expects %d argument(s), got %d" p.name context f
+              (List.length callee.params) (List.length args)
+    in
+    let rec check_expr = function
+      | Int _ | Read_sensor _ | Radio_rx | Timer_now -> ()
+      | Var x -> if not (in_scope x) then err "procedure %S: unknown variable %S" p.name x
+      | Bin (_, a, b) | Rel (_, a, b) | And (a, b) | Or (a, b) ->
+          check_expr a;
+          check_expr b
+      | Not e -> check_expr e
+      | Call_fn (f, args) ->
+          check_call "function" f args;
+          List.iter check_expr args
+      | Arr_get (a, idx) ->
+          check_array a;
+          check_expr idx
+    in
+    let rec check_stmt ~in_loop = function
+      | Assign (x, e) ->
+          if not (in_scope x) then err "procedure %S: unknown variable %S" p.name x;
+          check_expr e
+      | Arr_set (a, idx, value) ->
+          check_array a;
+          check_expr idx;
+          check_expr value
+      | If (c, a, b) ->
+          check_expr c;
+          List.iter (check_stmt ~in_loop) a;
+          List.iter (check_stmt ~in_loop) b
+      | While (c, body) ->
+          check_expr c;
+          List.iter (check_stmt ~in_loop:true) body
+      | Break -> if not in_loop then err "procedure %S: break outside a loop" p.name
+      | Call (f, args) ->
+          check_call "procedure" f args;
+          List.iter check_expr args
+      | Radio_tx e | Led e -> check_expr e
+      | Return (Some e) -> check_expr e
+      | Return None -> ()
+    in
+    List.iter (check_stmt ~in_loop:false) p.body
+  in
+  List.iter check_proc prog.procs;
+  (* Recursion: DFS over the call graph. *)
+  let color = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt color name with
+    | Some `Done -> ()
+    | Some `Active -> err "recursion detected through procedure %S" name
+    | None -> (
+        match Hashtbl.find_opt proc_tbl name with
+        | None -> () (* unknown callee already reported *)
+        | Some p ->
+            Hashtbl.replace color name `Active;
+            List.iter visit (List.concat_map stmt_calls p.body);
+            Hashtbl.replace color name `Done)
+  in
+  List.iter (fun p -> visit p.name) prog.procs;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let check_exn prog =
+  match program prog with
+  | Ok () -> ()
+  | Error messages -> invalid_arg ("Mote_lang.Check: " ^ String.concat "; " messages)

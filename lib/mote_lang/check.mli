@@ -1,0 +1,11 @@
+(** Semantic checks run before code generation.
+
+    The rules mirror nesC's restrictions on mote code: every name must
+    resolve, call arities must match, and the call graph must be acyclic —
+    recursion is rejected because frames are allocated statically. *)
+
+val program : Ast.program -> (unit, string list) result
+(** [Ok ()] or [Error messages] listing every violation found. *)
+
+val check_exn : Ast.program -> unit
+(** @raise Invalid_argument with the joined messages on any violation. *)

@@ -1,0 +1,351 @@
+open Ast
+module Isa = Mote_isa.Isa
+module Asm = Mote_isa.Asm
+
+type t = {
+  items : Asm.item list;
+  program : Mote_isa.Program.t;
+  global_addrs : (string * int) list;
+  array_addrs : (string * int) list;
+  frames : (string * (string * int) list) list;
+}
+
+let init_proc_name = "__init"
+
+(* Register budget: r0..r11 temporaries, r12 address scratch, r13 reserved
+   for instrumentation, r14 spare, r15 return value. *)
+let max_temp = 11
+let addr_reg = 12
+let ret_reg = 15
+
+(* Static data starts above a small scratch area. *)
+let data_base = 16
+
+let relop_cond = function
+  | Req -> Isa.Eq
+  | Rne -> Isa.Ne
+  | Rlt -> Isa.Lt
+  | Rle -> Isa.Le
+  | Rgt -> Isa.Gt
+  | Rge -> Isa.Ge
+
+let binop_alu = function
+  | Add -> Isa.Add
+  | Sub -> Isa.Sub
+  | Mul -> Isa.Mul
+  | BAnd -> Isa.And
+  | BOr -> Isa.Or
+  | BXor -> Isa.Xor
+  | Shl -> Isa.Shl
+  | Shr -> Isa.Shr
+
+type env = {
+  global_addrs : (string * int) list;
+  array_addrs : (string * int) list;
+  frames : (string * (string * int) list) list;
+  procs : (string * Ast.proc) list;
+}
+
+let lookup_var env ~proc name =
+  match List.assoc_opt name (List.assoc proc env.frames) with
+  | Some addr -> addr
+  | None -> (
+      match List.assoc_opt name env.global_addrs with
+      | Some addr -> addr
+      | None -> raise Not_found)
+
+(* Fits the Movi immediate (we allow full 16-bit signed range). *)
+let check_imm n =
+  if n < -32768 || n > 65535 then
+    invalid_arg (Printf.sprintf "Compile: immediate %d out of 16-bit range" n)
+
+let layout (prog : Ast.program) =
+  let next = ref data_base in
+  let alloc () =
+    let a = !next in
+    incr next;
+    a
+  in
+  let global_addrs = List.map (fun (g, _) -> (g, alloc ())) prog.globals in
+  let frames =
+    List.map
+      (fun p -> (p.name, List.map (fun v -> (v, alloc ())) (p.params @ p.locals)))
+      prog.procs
+  in
+  let array_addrs =
+    List.map
+      (fun (a, size) ->
+        let base = !next in
+        next := !next + size;
+        (a, base))
+      prog.arrays
+  in
+  (global_addrs, array_addrs, frames)
+
+type emitter = {
+  mutable rev_items : Asm.item list;
+  mutable next_label : int;
+  proc : string;
+  mutable loop_exits : string list; (* innermost first, for Break *)
+}
+
+let emit e item = e.rev_items <- item :: e.rev_items
+let emit_i e ins = emit e (Asm.I ins)
+
+let fresh_label e hint =
+  let n = e.next_label in
+  e.next_label <- n + 1;
+  Printf.sprintf "%s$%s%d" e.proc hint n
+
+let load_var e env x dst =
+  let addr = lookup_var env ~proc:e.proc x in
+  emit_i e (Isa.Movi (addr_reg, addr));
+  emit_i e (Isa.Ld (dst, addr_reg, 0))
+
+let store_var e env x src =
+  let addr = lookup_var env ~proc:e.proc x in
+  emit_i e (Isa.Movi (addr_reg, addr));
+  emit_i e (Isa.St (addr_reg, 0, src))
+
+let store_to_addr e addr src =
+  emit_i e (Isa.Movi (addr_reg, addr));
+  emit_i e (Isa.St (addr_reg, 0, src))
+
+let rec compile_expr e env expr dst =
+  if dst > max_temp then invalid_arg "Compile: expression too deep (register overflow)";
+  match expr with
+  | Int n ->
+      check_imm n;
+      emit_i e (Isa.Movi (dst, n))
+  | Var x -> load_var e env x dst
+  | Bin (op, a, Int n) ->
+      check_imm n;
+      compile_expr e env a dst;
+      emit_i e (Isa.Alui (binop_alu op, dst, dst, n))
+  | Bin (op, a, b) ->
+      compile_expr e env a dst;
+      compile_expr e env b (dst + 1);
+      emit_i e (Isa.Alu (binop_alu op, dst, dst, dst + 1))
+  | Rel (op, a, b) ->
+      compile_rel_value e env op a b dst
+  | Not inner ->
+      compile_expr e env inner dst;
+      let l_end = fresh_label e "not" in
+      emit_i e (Isa.Cmpi (dst, 0));
+      emit_i e (Isa.Movi (dst, 1));
+      emit_i e (Isa.Br (Isa.Eq, l_end));
+      emit_i e (Isa.Movi (dst, 0));
+      emit e (Asm.Label l_end)
+  | And _ | Or _ ->
+      (* Materialize short-circuit booleans through the condition
+         compiler. *)
+      let l_false = fresh_label e "false" and l_end = fresh_label e "end" in
+      compile_cond_false e env expr ~false_label:l_false ~dst;
+      emit_i e (Isa.Movi (dst, 1));
+      emit_i e (Isa.Jmp l_end);
+      emit e (Asm.Label l_false);
+      emit_i e (Isa.Movi (dst, 0));
+      emit e (Asm.Label l_end)
+  | Read_sensor ch -> emit_i e (Isa.In (dst, Isa.P_sensor ch))
+  | Radio_rx -> emit_i e (Isa.In (dst, Isa.P_radio_rx))
+  | Timer_now -> emit_i e (Isa.In (dst, Isa.P_timer))
+  | Call_fn (f, args) -> compile_call e env f args ~live:dst ~result:(Some dst)
+  | Arr_get (a, idx) ->
+      let base = List.assoc a env.array_addrs in
+      compile_expr e env idx dst;
+      emit_i e (Isa.Movi (addr_reg, base));
+      emit_i e (Isa.Alu (Isa.Add, addr_reg, addr_reg, dst));
+      emit_i e (Isa.Ld (dst, addr_reg, 0))
+
+and compile_rel_value e env op a b dst =
+  compile_expr e env a dst;
+  (match b with
+  | Int n ->
+      check_imm n;
+      emit_i e (Isa.Cmpi (dst, n))
+  | _ ->
+      compile_expr e env b (dst + 1);
+      emit_i e (Isa.Cmp (dst, dst + 1)));
+  let l_end = fresh_label e "rel" in
+  emit_i e (Isa.Movi (dst, 1));
+  emit_i e (Isa.Br (relop_cond op, l_end));
+  emit_i e (Isa.Movi (dst, 0));
+  emit e (Asm.Label l_end)
+
+(* Jump to [false_label] when the condition is false; fall through when
+   true.  [dst] is the first free temporary. *)
+and compile_cond_false e env cond ~false_label ~dst =
+  match cond with
+  | Rel (op, a, b) ->
+      compile_expr e env a dst;
+      (match b with
+      | Int n ->
+          check_imm n;
+          emit_i e (Isa.Cmpi (dst, n))
+      | _ ->
+          compile_expr e env b (dst + 1);
+          emit_i e (Isa.Cmp (dst, dst + 1)));
+      emit_i e (Isa.Br (relop_cond (rel_negate op), false_label))
+  | Not inner -> compile_cond_true e env inner ~true_label:false_label ~dst
+  | And (a, b) ->
+      compile_cond_false e env a ~false_label ~dst;
+      compile_cond_false e env b ~false_label ~dst
+  | Or (a, b) ->
+      let l_true = fresh_label e "or" in
+      compile_cond_true e env a ~true_label:l_true ~dst;
+      compile_cond_false e env b ~false_label ~dst;
+      emit e (Asm.Label l_true)
+  | other ->
+      compile_expr e env other dst;
+      emit_i e (Isa.Cmpi (dst, 0));
+      emit_i e (Isa.Br (Isa.Eq, false_label))
+
+(* Dual: jump to [true_label] when the condition holds. *)
+and compile_cond_true e env cond ~true_label ~dst =
+  match cond with
+  | Rel (op, a, b) ->
+      compile_expr e env a dst;
+      (match b with
+      | Int n ->
+          check_imm n;
+          emit_i e (Isa.Cmpi (dst, n))
+      | _ ->
+          compile_expr e env b (dst + 1);
+          emit_i e (Isa.Cmp (dst, dst + 1)));
+      emit_i e (Isa.Br (relop_cond op, true_label))
+  | Not inner -> compile_cond_false e env inner ~false_label:true_label ~dst
+  | And (a, b) ->
+      let l_false = fresh_label e "and" in
+      compile_cond_false e env a ~false_label:l_false ~dst;
+      compile_cond_true e env b ~true_label ~dst;
+      emit e (Asm.Label l_false)
+  | Or (a, b) ->
+      compile_cond_true e env a ~true_label ~dst;
+      compile_cond_true e env b ~true_label ~dst
+  | other ->
+      compile_expr e env other dst;
+      emit_i e (Isa.Cmpi (dst, 0));
+      emit_i e (Isa.Br (Isa.Ne, true_label))
+
+(* Evaluate arguments into the callee frame, save live temporaries around
+   the call, and optionally move the result into [result]. *)
+and compile_call e env f args ~live ~result =
+  let callee =
+    match List.assoc_opt f env.procs with
+    | Some p -> p
+    | None -> invalid_arg (Printf.sprintf "Compile: unknown procedure %S" f)
+  in
+  let frame = List.assoc f env.frames in
+  List.iteri
+    (fun i arg ->
+      let param = List.nth callee.params i in
+      let slot = List.assoc param frame in
+      compile_expr e env arg live;
+      store_to_addr e slot live)
+    args;
+  for r = 0 to live - 1 do
+    emit_i e (Isa.Push r)
+  done;
+  emit_i e (Isa.Call f);
+  (match result with Some dst -> emit_i e (Isa.Mov (dst, ret_reg)) | None -> ());
+  for r = live - 1 downto 0 do
+    emit_i e (Isa.Pop r)
+  done
+
+let rec compile_stmt e env stmt =
+  match stmt with
+  | Assign (x, expr) ->
+      compile_expr e env expr 0;
+      store_var e env x 0
+  | Arr_set (a, idx, value) ->
+      let base = List.assoc a env.array_addrs in
+      compile_expr e env value 0;
+      compile_expr e env idx 1;
+      emit_i e (Isa.Movi (addr_reg, base));
+      emit_i e (Isa.Alu (Isa.Add, addr_reg, addr_reg, 1));
+      emit_i e (Isa.St (addr_reg, 0, 0))
+  | If (c, then_block, []) ->
+      let l_end = fresh_label e "endif" in
+      compile_cond_false e env c ~false_label:l_end ~dst:0;
+      List.iter (compile_stmt e env) then_block;
+      emit e (Asm.Label l_end)
+  | If (c, then_block, else_block) ->
+      let l_else = fresh_label e "else" and l_end = fresh_label e "endif" in
+      compile_cond_false e env c ~false_label:l_else ~dst:0;
+      List.iter (compile_stmt e env) then_block;
+      emit_i e (Isa.Jmp l_end);
+      emit e (Asm.Label l_else);
+      List.iter (compile_stmt e env) else_block;
+      emit e (Asm.Label l_end)
+  | While (c, body) ->
+      let l_head = fresh_label e "while" and l_exit = fresh_label e "endwhile" in
+      emit e (Asm.Label l_head);
+      compile_cond_false e env c ~false_label:l_exit ~dst:0;
+      e.loop_exits <- l_exit :: e.loop_exits;
+      List.iter (compile_stmt e env) body;
+      e.loop_exits <- List.tl e.loop_exits;
+      emit_i e (Isa.Jmp l_head);
+      emit e (Asm.Label l_exit)
+  | Break -> (
+      match e.loop_exits with
+      | exit_label :: _ -> emit_i e (Isa.Jmp exit_label)
+      | [] -> invalid_arg "Compile: break outside a loop")
+  | Call (f, args) -> compile_call e env f args ~live:0 ~result:None
+  | Radio_tx expr ->
+      compile_expr e env expr 0;
+      emit_i e (Isa.Out (Isa.P_radio_tx, 0))
+  | Led expr ->
+      compile_expr e env expr 0;
+      emit_i e (Isa.Out (Isa.P_leds, 0))
+  | Return (Some expr) ->
+      compile_expr e env expr 0;
+      emit_i e (Isa.Mov (ret_reg, 0));
+      emit_i e Isa.Ret
+  | Return None -> emit_i e Isa.Ret
+
+let ends_with_return body =
+  match List.rev body with Return _ :: _ -> true | _ -> false
+
+let compile_proc env (p : Ast.proc) =
+  let e = { rev_items = []; next_label = 0; proc = p.name; loop_exits = [] } in
+  emit e (Asm.Proc p.name);
+  List.iter (compile_stmt e env) p.body;
+  if not (ends_with_return p.body) then emit_i e Isa.Ret;
+  List.rev e.rev_items
+
+let make_init_proc env (prog : Ast.program) =
+  let e = { rev_items = []; next_label = 0; proc = init_proc_name; loop_exits = [] } in
+  emit e (Asm.Proc init_proc_name);
+  List.iter
+    (fun (g, init) ->
+      check_imm init;
+      emit_i e (Isa.Movi (0, init));
+      store_to_addr e (List.assoc g env.global_addrs) 0)
+    prog.globals;
+  emit_i e Isa.Ret;
+  List.rev e.rev_items
+
+let compile (prog : Ast.program) =
+  Check.check_exn prog;
+  let global_addrs, array_addrs, frames = layout prog in
+  let env =
+    { global_addrs; array_addrs; frames; procs = List.map (fun p -> (p.name, p)) prog.procs }
+  in
+  let items =
+    make_init_proc env prog @ List.concat_map (compile_proc env) prog.procs
+  in
+  let program = Asm.assemble items in
+  { items; program; global_addrs; array_addrs; frames }
+
+let var_address (t : t) ~proc name =
+  match List.assoc_opt name (List.assoc proc t.frames) with
+  | Some addr -> addr
+  | None -> (
+      match List.assoc_opt name t.global_addrs with
+      | Some addr -> addr
+      | None -> raise Not_found)
+
+let array_address (t : t) name =
+  match List.assoc_opt name t.array_addrs with
+  | Some addr -> addr
+  | None -> raise Not_found

@@ -1,0 +1,38 @@
+(** Code generation to CT16 assembly.
+
+    Calling convention (no recursion, so frames are static):
+    - every procedure owns a fixed memory frame holding params then locals;
+    - callers store argument values straight into the callee frame, then
+      [Call]; results come back in r15;
+    - r0–r11 are expression temporaries, r12 is the address scratch,
+      r13 is reserved for instrumentation (never touched here).
+
+    Branch polarity follows the classic front-end convention the placement
+    pass later improves on: [if]/[while] conditions branch {e away} on
+    false, so the then-branch / loop body falls through in the natural
+    layout. *)
+
+type t = {
+  items : Mote_isa.Asm.item list;  (** The symbolic assembly. *)
+  program : Mote_isa.Program.t;  (** Assembled binary. *)
+  global_addrs : (string * int) list;
+  array_addrs : (string * int) list;
+  frames : (string * (string * int) list) list;
+      (** Per procedure: variable name → memory address. *)
+}
+
+val init_proc_name : string
+(** Name of the synthesized boot procedure that stores the globals'
+    initial values (["__init"]); run it once before any task. *)
+
+val compile : Ast.program -> t
+(** Checks (see {!Check.check_exn}) then compiles.
+    @raise Invalid_argument on semantic errors or register overflow in
+    pathologically deep expressions. *)
+
+val var_address : t -> proc:string -> string -> int
+(** Address of a variable as seen from [proc] (its frame first, then
+    globals).  @raise Not_found. *)
+
+val array_address : t -> string -> int
+(** Base address of a global array.  @raise Not_found. *)

@@ -1,0 +1,101 @@
+open Ast
+
+(* The machine's 16-bit two's-complement arithmetic, so folded results are
+   bit-identical to executed ones. *)
+let wrap v = ((v + 32768) land 0xFFFF) - 32768
+
+let eval_bin op a b =
+  wrap
+    (match op with
+    | Add -> a + b
+    | Sub -> a - b
+    | Mul -> a * b
+    | BAnd -> a land b
+    | BOr -> a lor b
+    | BXor -> a lxor b
+    | Shl -> a lsl (b land 15)
+    | Shr -> (a land 0xFFFF) lsr (b land 15))
+
+let eval_rel op a b =
+  let holds =
+    match op with
+    | Req -> a = b
+    | Rne -> a <> b
+    | Rlt -> a < b
+    | Rle -> a <= b
+    | Rgt -> a > b
+    | Rge -> a >= b
+  in
+  if holds then 1 else 0
+
+let rec has_effects = function
+  | Int _ | Var _ -> false
+  | Read_sensor _ | Radio_rx | Timer_now | Call_fn _ -> true
+  | Bin (_, a, b) | Rel (_, a, b) | And (a, b) | Or (a, b) -> has_effects a || has_effects b
+  | Not e | Arr_get (_, e) -> has_effects e
+
+let rec expr e =
+  match e with
+  | Int _ | Var _ | Read_sensor _ | Radio_rx | Timer_now -> e
+  | Bin (op, a, b) -> (
+      match (expr a, expr b) with
+      | Int x, Int y -> Int (eval_bin op x y)
+      | Int 0, b' when op = Add -> b'
+      | a', Int 0 when op = Add || op = Sub || op = BOr || op = BXor || op = Shl || op = Shr
+        ->
+          a'
+      | a', Int 1 when op = Mul -> a'
+      | Int 1, b' when op = Mul -> b'
+      | a', b' -> Bin (op, a', b'))
+  | Rel (op, a, b) -> (
+      match (expr a, expr b) with
+      | Int x, Int y -> Int (eval_rel op x y)
+      | a', b' -> Rel (op, a', b'))
+  | Not inner -> (
+      (* No double-negation rule: [Not (Not e)] normalizes e to 0/1, which
+         [e] itself need not be. *)
+      match expr inner with
+      | Int 0 -> Int 1
+      | Int _ -> Int 0
+      | inner' -> Not inner')
+  | And (a, b) -> (
+      match expr a with
+      | Int 0 -> Int 0
+      (* A constant-true left side still cannot drop [b]'s 0/1-ness;
+         keep the And unless b is constant too. *)
+      | Int _ -> (
+          match expr b with Int 0 -> Int 0 | Int _ -> Int 1 | b' -> And (Int 1, b'))
+      | a' -> And (a', expr b))
+  | Or (a, b) -> (
+      match expr a with
+      | Int x when x <> 0 -> Int 1
+      | Int 0 -> (
+          match expr b with Int 0 -> Int 0 | Int _ -> Int 1 | b' -> Or (Int 0, b'))
+      | a' -> Or (a', expr b))
+  | Arr_get (name, idx) -> Arr_get (name, expr idx)
+  | Call_fn (f, args) -> Call_fn (f, List.map expr args)
+
+let rec stmt s =
+  match s with
+  | Assign (x, e) -> [ Assign (x, expr e) ]
+  | Arr_set (a, idx, value) -> [ Arr_set (a, expr idx, expr value) ]
+  | Radio_tx e -> [ Radio_tx (expr e) ]
+  | Led e -> [ Led (expr e) ]
+  | Return (Some e) -> [ Return (Some (expr e)) ]
+  | Return None -> [ Return None ]
+  | Break -> [ Break ]
+  | Call (f, args) -> [ Call (f, List.map expr args) ]
+  | If (cond, then_block, else_block) -> (
+      match expr cond with
+      | Int c when not (has_effects cond) ->
+          block (if c <> 0 then then_block else else_block)
+      | cond' -> [ If (cond', block then_block, block else_block) ])
+  | While (cond, body) -> (
+      match expr cond with
+      | Int 0 when not (has_effects cond) -> []
+      | cond' -> [ While (cond', block body) ])
+
+and block stmts = List.concat_map stmt stmts
+
+let program (p : Ast.program) =
+  { p with procs = List.map (fun pr -> { pr with body = block pr.body }) p.procs }

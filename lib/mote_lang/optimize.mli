@@ -1,0 +1,21 @@
+(** Source-level optimization: constant folding and branch pruning.
+
+    Runs before code generation.  Folding matters here beyond the usual
+    reasons: pruning a constant conditional removes a branch from the CFG,
+    which removes a Markov parameter the estimator would otherwise waste
+    samples on, and dead arms stop occupying flash.
+
+    Semantics are preserved exactly, including 16-bit wrap-around —
+    folding uses the machine's own arithmetic.  Expressions with effects
+    (sensor/radio/timer reads, calls) are never folded away, even inside a
+    pruned branch's condition. *)
+
+val expr : Ast.expr -> Ast.expr
+val stmt : Ast.stmt -> Ast.stmt list
+(** A statement can simplify to several (a pruned [If] inlines an arm) or
+    to none (a [while (false)]). *)
+
+val program : Ast.program -> Ast.program
+
+val has_effects : Ast.expr -> bool
+(** Reads a device or calls a procedure somewhere inside. *)

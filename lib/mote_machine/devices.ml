@@ -1,0 +1,115 @@
+type probe_record = { pc : int; cycles : int; value : int }
+
+type t = {
+  timer_resolution : int;
+  timer_jitter : float;
+  probe_capacity : int option;
+  probe_loss : float;
+  rng : Stats.Rng.t;
+  mutable sensor : int -> int;
+  radio_rx_q : int Queue.t;
+  mutable tx_log : int list; (* newest first *)
+  mutable leds : int;
+  mutable led_writes : int;
+  mutable probes : probe_record list; (* newest first *)
+  mutable probe_count : int;
+  mutable probes_dropped : int;
+  counters : (int, int) Hashtbl.t;
+}
+
+let create ?(timer_resolution = 1) ?(timer_jitter = 0.0) ?probe_capacity
+    ?(probe_loss = 0.0) ?rng () =
+  if timer_resolution <= 0 then invalid_arg "Devices.create: resolution must be positive";
+  if timer_jitter < 0.0 then invalid_arg "Devices.create: negative jitter";
+  (match probe_capacity with
+  | Some c when c <= 0 -> invalid_arg "Devices.create: probe capacity must be positive"
+  | _ -> ());
+  if probe_loss < 0.0 || probe_loss >= 1.0 then
+    invalid_arg "Devices.create: probe loss outside [0,1)";
+  let rng = match rng with Some r -> r | None -> Stats.Rng.create 7 in
+  {
+    timer_resolution;
+    timer_jitter;
+    probe_capacity;
+    probe_loss;
+    rng;
+    sensor = (fun _ -> 0);
+    radio_rx_q = Queue.create ();
+    tx_log = [];
+    leds = 0;
+    led_writes = 0;
+    probes = [];
+    probe_count = 0;
+    probes_dropped = 0;
+    counters = Hashtbl.create 64;
+  }
+
+let timer_resolution t = t.timer_resolution
+
+let read_timer t ~cycles =
+  let noisy =
+    if t.timer_jitter = 0.0 then float_of_int cycles
+    else Stats.Dist.gaussian t.rng ~mu:(float_of_int cycles) ~sigma:t.timer_jitter
+  in
+  let ticks = int_of_float (floor (noisy /. float_of_int t.timer_resolution)) in
+  Stdlib.max 0 ticks
+
+let set_sensor t f = t.sensor <- f
+let read_sensor t ~channel = t.sensor channel
+
+let radio_push_rx t v = Queue.push v t.radio_rx_q
+
+let radio_rx t = match Queue.take_opt t.radio_rx_q with Some v -> v | None -> 0
+
+let radio_rx_pending t = Queue.length t.radio_rx_q
+
+let radio_tx t v = t.tx_log <- v :: t.tx_log
+let tx_log t = List.rev t.tx_log
+
+let set_leds t v =
+  t.leds <- v;
+  t.led_writes <- t.led_writes + 1
+
+let leds t = t.leds
+let led_writes t = t.led_writes
+
+(* Two loss modes: a full buffer drops the incoming record (reader fell
+   behind for good), and an unreliable uplink loses records independently
+   at [probe_loss]. *)
+let probe t ~pc ~cycles ~value =
+  let buffer_full =
+    match t.probe_capacity with Some cap -> t.probe_count >= cap | None -> false
+  in
+  if buffer_full || (t.probe_loss > 0.0 && Stats.Rng.bernoulli t.rng t.probe_loss) then
+    t.probes_dropped <- t.probes_dropped + 1
+  else begin
+    t.probes <- { pc; cycles; value } :: t.probes;
+    t.probe_count <- t.probe_count + 1
+  end
+
+let probe_log t = List.rev t.probes
+let probes_dropped t = t.probes_dropped
+
+let clear_probe_log t =
+  t.probes <- [];
+  t.probe_count <- 0
+
+let bump_counter t id =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counters id) in
+  Hashtbl.replace t.counters id (current + 1)
+
+let counter t id = Option.value ~default:0 (Hashtbl.find_opt t.counters id)
+
+let counters t =
+  Hashtbl.fold (fun id v acc -> if v <> 0 then (id, v) :: acc else acc) t.counters []
+  |> List.sort compare
+
+let reset_volatile t =
+  Queue.clear t.radio_rx_q;
+  t.tx_log <- [];
+  t.leds <- 0;
+  t.led_writes <- 0;
+  t.probes <- [];
+  t.probe_count <- 0;
+  t.probes_dropped <- 0;
+  Hashtbl.reset t.counters

@@ -1,0 +1,95 @@
+type node_id = int
+
+type link = { src : node_id; dst : node_id; loss : float; delay : int }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  lost : int;
+  per_link : ((node_id * node_id) * int) list;
+}
+
+type t = {
+  nodes : Node.t array;
+  links : link list;
+  rng : Stats.Rng.t;
+  (* Deliveries scheduled but not yet due: (due_cycle, dst, payload). *)
+  mutable in_flight : (int * node_id * int) list;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  link_counts : (node_id * node_id, int) Hashtbl.t;
+}
+
+let create ?(seed = 17) ~nodes ~links () =
+  let nodes = Array.of_list nodes in
+  let n = Array.length nodes in
+  List.iter
+    (fun { src; dst; loss; delay } ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Network.create: link endpoint out of range";
+      if src = dst then invalid_arg "Network.create: self link";
+      if loss < 0.0 || loss > 1.0 then invalid_arg "Network.create: loss outside [0,1]";
+      if delay < 0 then invalid_arg "Network.create: negative delay")
+    links;
+  {
+    nodes;
+    links;
+    rng = Stats.Rng.create seed;
+    in_flight = [];
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    link_counts = Hashtbl.create 8;
+  }
+
+let node t id = t.nodes.(id)
+
+let bump_link t src dst =
+  let key = (src, dst) in
+  Hashtbl.replace t.link_counts key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.link_counts key))
+
+let route t ~now ~src payload =
+  t.sent <- t.sent + 1;
+  List.iter
+    (fun link ->
+      if link.src = src then
+        if Stats.Rng.bernoulli t.rng link.loss then t.lost <- t.lost + 1
+        else begin
+          t.in_flight <- (now + link.delay, link.dst, payload) :: t.in_flight;
+          bump_link t src link.dst
+        end)
+    t.links
+
+let deliver_due t now =
+  let due, future = List.partition (fun (at, _, _) -> at <= now) t.in_flight in
+  t.in_flight <- future;
+  (* Stable order: by due time so repeated runs are deterministic. *)
+  List.sort compare due
+  |> List.iter (fun (_, dst, payload) ->
+         Node.inject_packet t.nodes.(dst) payload;
+         t.delivered <- t.delivered + 1)
+
+let run ?(quantum = 1000) t ~until =
+  if quantum <= 0 then invalid_arg "Network.run: quantum must be positive";
+  let clock = ref (Array.fold_left (fun acc n -> Stdlib.min acc (Node.cycles n)) max_int t.nodes) in
+  while !clock < until do
+    let slice_end = Stdlib.min until (!clock + quantum) in
+    deliver_due t !clock;
+    Array.iteri
+      (fun src node ->
+        ignore (Node.run node ~until:slice_end);
+        let now = Node.cycles node in
+        List.iter (fun payload -> route t ~now ~src payload) (Node.drain_tx node))
+      t.nodes;
+    clock := slice_end
+  done;
+  deliver_due t !clock;
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    lost = t.lost;
+    per_link =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.link_counts [] |> List.sort compare;
+  }

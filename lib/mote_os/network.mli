@@ -1,0 +1,39 @@
+(** Multi-node simulation: several motes connected by lossy, delayed
+    radio links.
+
+    Time advances in fixed quanta: every node runs up to the quantum
+    boundary, transmissions drained in that quantum are routed along the
+    sender's outgoing links (Bernoulli loss, per-link delay) and injected
+    into the receivers when their delivery time falls due.  The quantum is
+    the simulation's lookahead, so deliveries are accurate to within one
+    quantum — keep it at or below the smallest link delay you care about.
+
+    Nodes are identified by the index of their registration order. *)
+
+type node_id = int
+
+type link = {
+  src : node_id;
+  dst : node_id;
+  loss : float;  (** Probability a word is dropped in flight. *)
+  delay : int;  (** Propagation + MAC delay in cycles. *)
+}
+
+type stats = {
+  sent : int;  (** Words handed to the network layer. *)
+  delivered : int;  (** Words injected into receivers (per link copy). *)
+  lost : int;
+  per_link : ((node_id * node_id) * int) list;  (** Delivered per link. *)
+}
+
+type t
+
+val create : ?seed:int -> nodes:Node.t list -> links:link list -> unit -> t
+(** @raise Invalid_argument on dangling link endpoints, loss outside
+    [0,1], or negative delay. *)
+
+val node : t -> node_id -> Node.t
+
+val run : ?quantum:int -> t -> until:int -> stats
+(** Advance every node's clock to [until] (default quantum 1000 cycles).
+    Cumulative statistics since creation. *)

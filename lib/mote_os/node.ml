@@ -1,0 +1,186 @@
+module Machine = Mote_machine.Machine
+module Devices = Mote_machine.Devices
+
+type task_source =
+  | Boot
+  | Periodic of { period : int; offset : int }
+  | On_radio_rx
+
+type task = { proc : string; source : task_source }
+
+type run_stats = {
+  tasks_run : (string * int) list;
+  tasks_dropped : int;
+  packets_delivered : int;
+  total_cycles : int;
+  idle_cycles : int;
+  busy_cycles : int;
+}
+
+let invocations stats proc = Option.value ~default:0 (List.assoc_opt proc stats.tasks_run)
+
+type timer_state = { mutable next_fire : int; period : int; timer_task : string }
+
+type t = {
+  machine : Machine.t;
+  env : Env.t;
+  queue : string Queue.t;
+  queue_capacity : int;
+  timers : timer_state list;
+  radio_tasks : string list;
+  (* Radio arrivals are generated lazily in chunks up to this cycle. *)
+  mutable radio_horizon : int;
+  mutable radio_pending : (int * int) list;
+  (* Accumulated statistics. *)
+  run_counts : (string, int) Hashtbl.t;
+  mutable dropped : int;
+  mutable packets : int;
+  mutable idle_cycles : int;
+  created_at_cycles : int;
+  mutable tx_drained : int;
+}
+
+let radio_chunk = 1 lsl 17
+
+let create ~machine ~env ~tasks ?(queue_capacity = 16) () =
+  if queue_capacity <= 0 then invalid_arg "Node.create: queue capacity must be positive";
+  let program = Machine.program machine in
+  List.iter
+    (fun { proc; _ } ->
+      if Mote_isa.Program.find_proc program proc = None then
+        invalid_arg (Printf.sprintf "Node.create: no procedure %S in binary" proc))
+    tasks;
+  Env.attach env (Machine.devices machine);
+  (* Boot-time global initialization, if the compiler emitted one. *)
+  (match Mote_isa.Program.find_proc program Mote_lang.Compile.init_proc_name with
+  | Some _ -> ignore (Machine.run_proc machine Mote_lang.Compile.init_proc_name)
+  | None -> ());
+  let queue = Queue.create () in
+  let timers =
+    List.filter_map
+      (fun { proc; source } ->
+        match source with
+        | Periodic { period; offset } ->
+            if period <= 0 then invalid_arg "Node.create: period must be positive";
+            Some { next_fire = offset; period; timer_task = proc }
+        | Boot | On_radio_rx -> None)
+      tasks
+  in
+  let radio_tasks =
+    List.filter_map
+      (fun { proc; source } -> match source with On_radio_rx -> Some proc | _ -> None)
+      tasks
+  in
+  let t =
+    {
+      machine;
+      env;
+      queue;
+      queue_capacity;
+      timers;
+      radio_tasks;
+      radio_horizon = 0;
+      radio_pending = [];
+      run_counts = Hashtbl.create 8;
+      dropped = 0;
+      packets = 0;
+      idle_cycles = 0;
+      created_at_cycles = Machine.cycles machine;
+      tx_drained = 0;
+    }
+  in
+  List.iter
+    (fun { proc; source } -> match source with Boot -> Queue.push proc queue | _ -> ())
+    tasks;
+  t
+
+let machine t = t.machine
+
+let cycles t = Machine.cycles t.machine
+
+let post t proc =
+  if Queue.length t.queue >= t.queue_capacity then t.dropped <- t.dropped + 1
+  else Queue.push proc t.queue
+
+(* Extend the pre-generated radio arrival schedule to cover [upto]. *)
+let extend_radio t upto =
+  while t.radio_horizon <= upto do
+    let from_cycle = t.radio_horizon in
+    let to_cycle = t.radio_horizon + radio_chunk in
+    let arrivals = Env.radio_arrivals t.env ~from_cycle ~to_cycle in
+    t.radio_pending <- t.radio_pending @ arrivals;
+    t.radio_horizon <- to_cycle
+  done
+
+(* Deliver every event with a timestamp <= now. *)
+let deliver_due t now =
+  List.iter
+    (fun timer ->
+      while timer.next_fire <= now do
+        post t timer.timer_task;
+        timer.next_fire <- timer.next_fire + timer.period
+      done)
+    t.timers;
+  extend_radio t now;
+  let due, future = List.partition (fun (at, _) -> at <= now) t.radio_pending in
+  t.radio_pending <- future;
+  List.iter
+    (fun (_, payload) ->
+      Devices.radio_push_rx (Machine.devices t.machine) payload;
+      t.packets <- t.packets + 1;
+      List.iter (fun proc -> post t proc) t.radio_tasks)
+    due
+
+let inject_packet t payload =
+  Devices.radio_push_rx (Machine.devices t.machine) payload;
+  t.packets <- t.packets + 1;
+  List.iter (fun proc -> post t proc) t.radio_tasks
+
+let drain_tx t =
+  let log = Devices.tx_log (Machine.devices t.machine) in
+  let fresh = List.filteri (fun i _ -> i >= t.tx_drained) log in
+  t.tx_drained <- List.length log;
+  fresh
+
+let next_event_time t =
+  let timer_next =
+    List.fold_left (fun acc timer -> Stdlib.min acc timer.next_fire) max_int t.timers
+  in
+  match t.radio_pending with
+  | (at, _) :: _ -> Stdlib.min timer_next at
+  | [] -> timer_next
+
+let run ?(fuel_per_task = 2_000_000) t ~until =
+  let continue = ref true in
+  while !continue && Machine.cycles t.machine < until do
+    let now = Machine.cycles t.machine in
+    deliver_due t now;
+    match Queue.take_opt t.queue with
+    | Some proc ->
+        ignore (Machine.run_proc ~fuel:fuel_per_task t.machine proc);
+        let count = Option.value ~default:0 (Hashtbl.find_opt t.run_counts proc) in
+        Hashtbl.replace t.run_counts proc (count + 1)
+    | None ->
+        extend_radio t (Stdlib.min until (now + radio_chunk));
+        let next = next_event_time t in
+        if next = max_int || next >= until then begin
+          (* Nothing left to do before the deadline: sleep through it. *)
+          t.idle_cycles <- t.idle_cycles + (until - now);
+          Machine.idle t.machine (until - now);
+          continue := false
+        end
+        else begin
+          t.idle_cycles <- t.idle_cycles + (next - now);
+          Machine.idle t.machine (next - now)
+        end
+  done;
+  let total_cycles = Machine.cycles t.machine - t.created_at_cycles in
+  {
+    tasks_run =
+      Hashtbl.fold (fun proc n acc -> (proc, n) :: acc) t.run_counts [] |> List.sort compare;
+    tasks_dropped = t.dropped;
+    packets_delivered = t.packets;
+    total_cycles;
+    idle_cycles = t.idle_cycles;
+    busy_cycles = total_cycles - t.idle_cycles;
+  }

@@ -1,0 +1,51 @@
+module Isa = Mote_isa.Isa
+module Asm = Mote_isa.Asm
+module Machine = Mote_machine.Machine
+module Devices = Mote_machine.Devices
+module Cfg = Cfgir.Cfg
+
+type t = { window_correction : int; call_residual : int; leaf_window : int }
+
+(* Straight-line cost of an instrumented procedure, with zero constants:
+   block base costs only (no branches, no calls counted). *)
+let zero_model_cost program name =
+  let cfg = Cfg.of_proc_name program name in
+  let total = ref 0 in
+  for id = 0 to Cfg.num_blocks cfg - 1 do
+    total := !total + (Cfg.block cfg id).Cfg.base_cost
+  done;
+  !total
+
+let run ?(leaf_body_cycles = 10) () =
+  if leaf_body_cycles < 1 then invalid_arg "Calibrate.run: need a positive leaf body";
+  let items =
+    (Asm.Proc "cal_leaf" :: List.init leaf_body_cycles (fun _ -> Asm.movi 0 1))
+    @ [ Asm.ret ]
+    @ [ Asm.Proc "cal_caller"; Asm.call "cal_leaf"; Asm.ret ]
+  in
+  let instrumented = Asm.assemble (Probes.instrument items) in
+  let devices = Devices.create () in
+  let machine = Machine.create ~program:instrumented ~devices () in
+  ignore (Machine.run_proc machine "cal_caller");
+  let samples = Probes.collect ~program:instrumented ~devices in
+  let window proc =
+    match Probes.samples_for samples proc with
+    | [| w |] -> int_of_float w
+    | other ->
+        invalid_arg
+          (Printf.sprintf "Calibrate: expected one %s window, got %d" proc
+             (Array.length other))
+  in
+  let leaf_window = window "cal_leaf" in
+  let caller_window = window "cal_caller" in
+  (* leaf:   W = cost - correction            (no calls)
+     caller: W = cost + residual - correction (one call) *)
+  let window_correction = zero_model_cost instrumented "cal_leaf" - leaf_window in
+  let call_residual =
+    caller_window - zero_model_cost instrumented "cal_caller" + window_correction
+  in
+  { window_correction; call_residual; leaf_window }
+
+let matches_analytic t =
+  t.window_correction = Probes.window_correction
+  && t.call_residual = Probes.call_residual

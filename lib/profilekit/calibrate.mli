@@ -1,0 +1,24 @@
+(** Empirical calibration of the timing-model constants.
+
+    The analytic values in {!Probes} ({!Probes.window_correction},
+    {!Probes.call_residual}) are derived from the ISA cost table.  A port
+    to a different core — or a core whose documentation is wrong, which is
+    the common case — can instead {e measure} them: run two tiny
+    calibration procedures (a straight-line leaf and a caller wrapping it)
+    under probes, compare measured windows against the zero-constant
+    analytic cost, and read the constants off the difference.  Both
+    procedures are branch-free, so the measurement is exact. *)
+
+type t = {
+  window_correction : int;
+  call_residual : int;
+  leaf_window : int;  (** Raw measured leaf window, for diagnostics. *)
+}
+
+val run : ?leaf_body_cycles:int -> unit -> t
+(** Build, instrument and execute the calibration pair on a fresh machine
+    (default leaf body ≈ 10 cycles).  Deterministic. *)
+
+val matches_analytic : t -> bool
+(** Do the measured constants equal {!Probes}'s analytic ones?  (They must,
+    on the bundled CT16 core — the test suite checks it.) *)

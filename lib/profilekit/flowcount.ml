@@ -1,0 +1,36 @@
+module Cfg = Cfgir.Cfg
+
+let freq_of_branch_counts cfg ~invocations ~counts =
+  let n = Cfg.num_blocks cfg in
+  (* x = c + U x, where c collects entry flow and known branch-edge inflow
+     and U carries flow along unconditional (jump/fall) edges. *)
+  let c = Array.make n 0.0 in
+  c.(0) <- invocations;
+  let u = Linalg.Matrix.make n n 0.0 in
+  for src = 0 to n - 1 do
+    match (Cfg.block cfg src).Cfg.term with
+    | Cfg.T_branch (_, taken_dst, fall_dst) ->
+        let taken, fall =
+          match List.assoc_opt src counts with Some tf -> tf | None -> (0.0, 0.0)
+        in
+        c.(taken_dst) <- c.(taken_dst) +. taken;
+        c.(fall_dst) <- c.(fall_dst) +. fall
+    | Cfg.T_jump dst | Cfg.T_fall dst -> u.(dst).(src) <- u.(dst).(src) +. 1.0
+    | Cfg.T_ret | Cfg.T_halt -> ()
+  done;
+  let i_minus_u = Linalg.Matrix.sub (Linalg.Matrix.identity n) u in
+  let visits = Linalg.Solve.lu_solve i_minus_u c in
+  let freq = Cfgir.Freq.create cfg ~invocations in
+  for src = 0 to n - 1 do
+    match (Cfg.block cfg src).Cfg.term with
+    | Cfg.T_branch (_, taken_dst, fall_dst) ->
+        let taken, fall =
+          match List.assoc_opt src counts with Some tf -> tf | None -> (0.0, 0.0)
+        in
+        Cfgir.Freq.bump freq ~src ~dst:taken_dst ~kind:Cfg.K_taken taken;
+        Cfgir.Freq.bump freq ~src ~dst:fall_dst ~kind:Cfg.K_fall fall
+    | Cfg.T_jump dst -> Cfgir.Freq.bump freq ~src ~dst ~kind:Cfg.K_jump visits.(src)
+    | Cfg.T_fall dst -> Cfgir.Freq.bump freq ~src ~dst ~kind:Cfg.K_fall visits.(src)
+    | Cfg.T_ret | Cfg.T_halt -> ()
+  done;
+  freq

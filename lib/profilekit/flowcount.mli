@@ -1,0 +1,19 @@
+(** Reconstructing full edge frequencies from branch outcome counts.
+
+    Branch profilers (the oracle and the counter instrumentation) observe
+    only conditional-branch outcomes.  Every other edge's traversal count
+    follows from flow conservation: a block's visits equal its inbound
+    flow (plus the invocation count for the entry), and its unconditional
+    out-edge carries exactly its visits.  This solves the resulting linear
+    system [(I − U) x = c] and materializes the complete profile. *)
+
+val freq_of_branch_counts :
+  Cfgir.Cfg.t ->
+  invocations:float ->
+  counts:(int * (float * float)) list ->
+  Cfgir.Freq.t
+(** [counts] maps each branch block to its (taken, fall) totals.  Branch
+    blocks absent from the list count as (0, 0).
+    @raise Linalg.Solve.Singular for CFGs whose unconditional-flow part is
+    cyclic (cannot happen for binaries produced by the compiler: every
+    loop is broken by a conditional branch or exits). *)

@@ -1,0 +1,74 @@
+module Machine = Mote_machine.Machine
+module Program = Mote_isa.Program
+module Cfg = Cfgir.Cfg
+
+type site = { proc : string; block : int }
+
+type t = {
+  machine : Machine.t;
+  cfgs : (string * Cfg.t) list;
+  sites : (int, site) Hashtbl.t; (* branch pc -> site *)
+  taken : (string * int, int) Hashtbl.t;
+  fall : (string * int, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let attach machine =
+  let program = Machine.program machine in
+  let cfgs = List.map (fun cfg -> (cfg.Cfg.proc.Program.name, cfg)) (Cfg.of_program program) in
+  let sites = Hashtbl.create 64 in
+  List.iter
+    (fun (name, cfg) ->
+      List.iter
+        (fun id ->
+          let block = Cfg.block cfg id in
+          Hashtbl.replace sites block.Cfg.last { proc = name; block = id })
+        (Cfg.branch_blocks cfg))
+    cfgs;
+  let t =
+    { machine; cfgs; sites; taken = Hashtbl.create 64; fall = Hashtbl.create 64; total = 0 }
+  in
+  Machine.set_branch_hook machine
+    (Some
+       (fun ~pc ~taken ->
+         match Hashtbl.find_opt t.sites pc with
+         | None -> ()
+         | Some { proc; block } ->
+             t.total <- t.total + 1;
+             let tbl = if taken then t.taken else t.fall in
+             let key = (proc, block) in
+             Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))));
+  t
+
+let detach t = Machine.set_branch_hook t.machine None
+
+let cfg_of t proc =
+  match List.assoc_opt proc t.cfgs with
+  | Some cfg -> cfg
+  | None -> invalid_arg (Printf.sprintf "Oracle: unknown procedure %S" proc)
+
+let counts t ~proc =
+  let cfg = cfg_of t proc in
+  List.map
+    (fun id ->
+      let get tbl = Option.value ~default:0 (Hashtbl.find_opt tbl (proc, id)) in
+      (id, (get t.taken, get t.fall)))
+    (Cfg.branch_blocks cfg)
+
+let thetas t ~proc =
+  counts t ~proc
+  |> List.map (fun (id, (tk, fl)) ->
+         let total = tk + fl in
+         (id, if total = 0 then 0.5 else float_of_int tk /. float_of_int total))
+
+let theta_vector t ~proc = Array.of_list (List.map snd (thetas t ~proc))
+
+let total_branches t = t.total
+
+let freq t ~proc ~invocations =
+  let cfg = cfg_of t proc in
+  let counts =
+    counts t ~proc
+    |> List.map (fun (id, (tk, fl)) -> (id, (float_of_int tk, float_of_int fl)))
+  in
+  Flowcount.freq_of_branch_counts cfg ~invocations ~counts

@@ -1,0 +1,28 @@
+open Mote_isa
+
+type report = {
+  flash_words : int;
+  flash_overhead_words : int;
+  flash_overhead_pct : float;
+  ram_words : int;
+}
+
+let probe_ram_words = 16
+
+let of_binaries ~base ~instrumented ~ram_words =
+  let base_words = Program.flash_words base in
+  let words = Program.flash_words instrumented in
+  {
+    flash_words = words;
+    flash_overhead_words = words - base_words;
+    flash_overhead_pct =
+      (if base_words = 0 then 0.0
+       else 100.0 *. float_of_int (words - base_words) /. float_of_int base_words);
+    ram_words;
+  }
+
+let probes_report ~base ~instrumented =
+  of_binaries ~base ~instrumented ~ram_words:probe_ram_words
+
+let edges_report ~base ~instrumented =
+  of_binaries ~base ~instrumented ~ram_words:(Edges.num_counters base)

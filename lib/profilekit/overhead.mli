@@ -1,0 +1,25 @@
+(** Static instrumentation-overhead accounting for experiment T6.
+
+    Dynamic (cycle) overhead comes from actually running each binary under
+    the same environment seed; that orchestration lives in the core
+    pipeline.  Here we account for what can be read off the binaries:
+    flash occupancy and the RAM the instrumentation needs. *)
+
+open Mote_isa
+
+type report = {
+  flash_words : int;
+  flash_overhead_words : int;  (** vs. the base binary. *)
+  flash_overhead_pct : float;
+  ram_words : int;  (** Buffers/counters the scheme needs. *)
+}
+
+val probe_ram_words : int
+(** The tomography log buffer: probes stream (pc, tick) pairs; motes batch
+    them in a small fixed buffer before shipping over the radio/UART. *)
+
+val of_binaries : base:Program.t -> instrumented:Program.t -> ram_words:int -> report
+
+val probes_report : base:Program.t -> instrumented:Program.t -> report
+val edges_report : base:Program.t -> instrumented:Program.t -> report
+(** RAM = one word per edge counter, derived from the base binary. *)

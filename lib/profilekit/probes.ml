@@ -1,0 +1,211 @@
+open Mote_isa
+
+let scratch_reg = 13
+
+let probe_items =
+  [ Asm.I (Isa.In (scratch_reg, Isa.P_timer)); Asm.I (Isa.Out (Isa.P_probe, scratch_reg)) ]
+
+let in_cost = Isa.base_cost (Isa.In (scratch_reg, Isa.P_timer))
+let out_cost = Isa.base_cost (Isa.Out (Isa.P_probe, scratch_reg))
+let ret_cost = Isa.base_cost Isa.Ret + Isa.taken_penalty
+
+let probe_cycles_per_invocation = 2 * (in_cost + out_cost)
+
+let probe_flash_words_per_site =
+  List.fold_left
+    (fun acc item -> match item with Asm.I i -> acc + Isa.size i | _ -> acc)
+    0 probe_items
+
+(* Entry [in] before the window, exit [out] and the ret's base cost after
+   it.  The ret's taken penalty is never part of any block's cost in the
+   timing model, so it must not be subtracted here. *)
+let window_correction = in_cost + out_cost + Isa.base_cost Isa.Ret
+
+(* Caller-side: call taken penalty + callee entry [in] + callee exit [out]
+   + callee ret. *)
+let call_residual = Isa.taken_penalty + in_cost + out_cost + ret_cost
+
+let instrument ?(skip = [ Mote_lang.Compile.init_proc_name ]) items =
+  let rec go current_skipped = function
+    | [] -> []
+    | (Asm.Proc name as item) :: rest ->
+        let skipped = List.mem name skip in
+        if skipped then item :: go skipped rest
+        else (item :: probe_items) @ go skipped rest
+    | (Asm.I Isa.Ret as item) :: rest when not current_skipped ->
+        probe_items @ (item :: go current_skipped rest)
+    | item :: rest -> item :: go current_skipped rest
+  in
+  go true items
+
+type sample_set = (string * float array) list
+
+exception Unbalanced of string
+
+type frame = { proc : string; t_entry : int; mutable child_cycles : int }
+
+(* Timestamps travel through 16-bit registers, so tick counts wrap at
+   2^16 — differences are taken modulo 2^16, which is correct as long as a
+   single window spans fewer than 65536 ticks (mote procedures are run-to-
+   completion tasks, orders of magnitude shorter). *)
+let wrap16 v = v land 0xFFFF
+let diff16 later earlier = (later - earlier) land 0xFFFF
+
+let collect ~program ~devices =
+  let resolution = Mote_machine.Devices.timer_resolution devices in
+  let to_cycles ticks = ticks * resolution in
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack : frame list ref = ref [] in
+  let record_sample proc v =
+    let cell =
+      match Hashtbl.find_opt samples proc with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace samples proc c;
+          c
+    in
+    cell := v :: !cell
+  in
+  List.iter
+    (fun { Mote_machine.Devices.pc; value; _ } ->
+      let proc =
+        match Program.proc_at program pc with
+        | Some p -> p
+        | None -> raise (Unbalanced (Printf.sprintf "probe at %d outside any procedure" pc))
+      in
+      let is_entry = pc = proc.Program.entry + 1 in
+      if is_entry then
+        stack := { proc = proc.Program.name; t_entry = wrap16 value; child_cycles = 0 } :: !stack
+      else begin
+        match !stack with
+        | [] ->
+            raise (Unbalanced (Printf.sprintf "exit probe for %s with empty stack" proc.Program.name))
+        | frame :: rest ->
+            if frame.proc <> proc.Program.name then
+              raise
+                (Unbalanced
+                   (Printf.sprintf "exit probe for %s while %s is open" proc.Program.name
+                      frame.proc));
+            let inclusive = to_cycles (diff16 (wrap16 value) frame.t_entry) in
+            let exclusive = inclusive - frame.child_cycles in
+            record_sample frame.proc (float_of_int exclusive);
+            (match rest with
+            | parent :: _ -> parent.child_cycles <- parent.child_cycles + inclusive
+            | [] -> ());
+            stack := rest
+      end)
+    (Mote_machine.Devices.probe_log devices);
+  Hashtbl.fold
+    (fun proc cell acc -> (proc, Array.of_list (List.rev !cell)) :: acc)
+    samples []
+  |> List.sort compare
+
+let samples_for set proc = Option.value ~default:[||] (List.assoc_opt proc set)
+
+type lossy_result = { samples : sample_set; discarded : int }
+
+type lossy_frame = {
+  lproc : string;
+  lt_entry : int;
+  mutable lchild : int;
+  mutable corrupted : bool;
+}
+
+let collect_lossy ?max_window ~program ~devices () =
+  let resolution = Mote_machine.Devices.timer_resolution devices in
+  let to_cycles ticks = ticks * resolution in
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let record_sample proc v =
+    let cell =
+      match Hashtbl.find_opt samples proc with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace samples proc c;
+          c
+    in
+    cell := v :: !cell
+  in
+  let stack : lossy_frame list ref = ref [] in
+  let discarded = ref 0 in
+  let poison () = List.iter (fun f -> f.corrupted <- true) !stack in
+  let discard_top () =
+    match !stack with
+    | [] -> ()
+    | _ :: rest ->
+        incr discarded;
+        stack := rest;
+        poison ()
+  in
+  (* Close the top frame as [proc]'s exit if it matches; otherwise, if
+     [proc] is open deeper, unwind (discarding) to it; otherwise the entry
+     record was lost — skip the exit. *)
+  let rec close proc t_exit =
+    match !stack with
+    | [] ->
+        incr discarded;
+        ()
+    | frame :: rest when frame.lproc = proc ->
+        let inclusive = to_cycles (diff16 t_exit frame.lt_entry) in
+        let implausible =
+          match max_window with Some m -> inclusive > m | None -> false
+        in
+        if implausible then begin
+          (* A window longer than any plausible invocation: this exit
+             paired with a stale entry across lost records. *)
+          incr discarded;
+          stack := rest;
+          poison ()
+        end
+        else begin
+          if frame.corrupted then incr discarded
+          else record_sample frame.lproc (float_of_int (inclusive - frame.lchild));
+          (match rest with
+          | parent :: _ -> parent.lchild <- parent.lchild + inclusive
+          | [] -> ());
+          stack := rest
+        end
+    | _ ->
+        if List.exists (fun f -> f.lproc = proc) !stack then begin
+          discard_top ();
+          close proc t_exit
+        end
+        else begin
+          (* Exit with no matching entry: its entry record was lost, and we
+             cannot know which open windows it contaminated. *)
+          incr discarded;
+          poison ()
+        end
+  in
+  List.iter
+    (fun { Mote_machine.Devices.pc; value; _ } ->
+      match Program.proc_at program pc with
+      | None ->
+          incr discarded;
+          poison ()
+      | Some proc ->
+          let name = proc.Program.name in
+          if pc = proc.Program.entry + 1 then begin
+            (* Recursion is impossible in mote programs, so an entry for an
+               already-open procedure proves its previous exit was lost:
+               everything open is torn. *)
+            if List.exists (fun f -> f.lproc = name) !stack then begin
+              discarded := !discarded + List.length !stack;
+              stack := []
+            end;
+            stack :=
+              { lproc = name; lt_entry = wrap16 value; lchild = 0; corrupted = false }
+              :: !stack
+          end
+          else close name (wrap16 value))
+    (Mote_machine.Devices.probe_log devices);
+  (* Frames still open at the end of the log never completed. *)
+  discarded := !discarded + List.length !stack;
+  let samples =
+    Hashtbl.fold
+      (fun proc cell acc -> (proc, Array.of_list (List.rev !cell)) :: acc)
+      samples []
+    |> List.sort compare
+  in
+  { samples; discarded = !discarded }

@@ -1,0 +1,86 @@
+(** Entry/exit timing probes — the only instrumentation Code Tomography
+    needs.
+
+    Each instrumented procedure gets a two-instruction prologue probe and a
+    two-instruction probe before every [Ret]:
+    {v
+      in  r13, timer       ; timestamp
+      out probe, r13       ; stream it to the logger
+    v}
+    r13 is reserved by the compiler, so no save/restore is needed.  The
+    probes cost {!probe_cycles_per_invocation} cycles and a few flash words
+    per procedure — orders of magnitude below full edge instrumentation
+    (experiment T6).
+
+    {!collect} converts the device's probe log into {e exclusive} per-
+    invocation durations: nested callee windows are subtracted the way
+    gprof does it, so a procedure's samples reflect its own code plus the
+    fixed {!call_residual} per call it makes. *)
+
+open Mote_isa
+
+val scratch_reg : int
+
+val instrument : ?skip:string list -> Asm.item list -> Asm.item list
+(** Insert probes into every procedure except those in [skip] (default:
+    the compiler's [__init]). *)
+
+val probe_cycles_per_invocation : int
+(** Dynamic cost added per invocation (entry probe + one exit probe). *)
+
+val probe_flash_words_per_site : int
+
+val window_correction : int
+(** Cycles of an instrumented invocation that fall {e outside} the
+    measured window (entry [in], exit [out], the [ret] and its taken
+    penalty).  The timing model's analytic mean must subtract this. *)
+
+val call_residual : int
+(** Cycles attributed to the caller, per call to an instrumented callee,
+    that are not part of the caller's own block costs: the call's taken
+    penalty plus the callee-side probe halves and its [ret]. *)
+
+type sample_set = (string * float array) list
+(** Per procedure: exclusive duration (in cycles, after multiplying ticks
+    back by the timer resolution) of each completed invocation, in
+    execution order. *)
+
+exception Unbalanced of string
+(** Probe log does not nest properly (e.g. a run was cut mid-task). *)
+
+val collect : program:Program.t -> devices:Mote_machine.Devices.t -> sample_set
+(** Pair up the probe log of an instrumented binary.  Invocations still
+    open at the end of the log are discarded. *)
+
+val samples_for : sample_set -> string -> float array
+(** Convenience accessor; [||] when the procedure has no samples. *)
+
+type lossy_result = {
+  samples : sample_set;  (** Windows whose records all survived. *)
+  discarded : int;  (** Frames abandoned because a record was missing. *)
+}
+
+val collect_lossy :
+  ?max_window:int ->
+  program:Mote_isa.Program.t ->
+  devices:Mote_machine.Devices.t ->
+  unit ->
+  lossy_result
+(** Like {!collect}, but tolerant of records lost in flight (bounded
+    buffers, unreliable uplinks — see {!Mote_machine.Devices.create}):
+    instead of raising {!Unbalanced}, the collector resynchronizes.  An
+    exit whose procedure is open deeper in the stack closes (and discards)
+    the intervening frames; an exit with no matching open frame is
+    skipped; an entry for an already-open procedure tears the whole stack
+    (recursion being impossible, its previous exit must have been lost);
+    any frame that was open while something was discarded is itself
+    discarded, so surviving samples are exactly the fully-observed,
+    fully-nested windows.  [max_window] (cycles) additionally discards
+    windows longer than any plausible invocation — the signature of an
+    exit pairing with a stale entry across a doubly-lost boundary.
+
+    Caveat: if a nested invocation loses {e both} its records, nothing in
+    the log betrays it and the enclosing window silently absorbs the
+    child's time.  When {!Mote_machine.Devices.probes_dropped} exceeds
+    what [discarded] accounts for, treat caller samples with
+    suspicion (leaf procedures are unaffected). *)

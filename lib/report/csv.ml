@@ -1,0 +1,18 @@
+let escape cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let row_to_string row = String.concat "," (List.map escape row)
+
+let to_string ~headers rows =
+  String.concat "\n" (row_to_string headers :: List.map row_to_string rows) ^ "\n"
+
+let write_file ~path ~headers rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~headers rows))

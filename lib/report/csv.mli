@@ -1,0 +1,7 @@
+(** Minimal CSV output so experiment data can be re-plotted elsewhere. *)
+
+val to_string : headers:string list -> string list list -> string
+(** RFC-4180-style quoting of cells containing commas, quotes or
+    newlines. *)
+
+val write_file : path:string -> headers:string list -> string list list -> unit

@@ -1,0 +1,43 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable n : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; n = 0 }
+
+let add t x =
+  let idx = int_of_float ((x -. t.lo) /. t.width) in
+  let idx = Stdlib.max 0 (Stdlib.min (Array.length t.counts - 1) idx) in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.n <- t.n + 1
+
+let of_data ?(bins = 32) data =
+  if Array.length data = 0 then invalid_arg "Histogram.of_data: empty data";
+  let lo = Array.fold_left Stdlib.min infinity data in
+  let hi = Array.fold_left Stdlib.max neg_infinity data in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let t = create ~lo ~hi:(hi +. 1e-9) ~bins in
+  Array.iter (add t) data;
+  t
+
+let count t = t.n
+let bins t = Array.length t.counts
+let bin_count t i = t.counts.(i)
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. t.width)
+
+let bin_fraction t i =
+  if t.n = 0 then 0.0 else float_of_int t.counts.(i) /. float_of_int t.n
+
+let mode_center t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  bin_center t !best
+
+let to_density t =
+  Array.init (bins t) (fun i -> (bin_center t i, bin_fraction t i))

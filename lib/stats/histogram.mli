@@ -1,0 +1,27 @@
+(** Fixed-width binned histograms over floats.
+
+    Used by the timing tomography front end (binning end-to-end latencies)
+    and by the report layer for ASCII figures. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins] equal-width bins.
+    Out-of-range samples are clamped into the first/last bin. *)
+
+val of_data : ?bins:int -> float array -> t
+(** Build from data using its min/max range (default 32 bins). *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bins : t -> int
+val bin_count : t -> int -> int
+val bin_center : t -> int -> float
+val bin_fraction : t -> int -> float
+
+val mode_center : t -> float
+(** Center of the most populated bin. *)
+
+val to_density : t -> (float * float) array
+(** [(center, prob mass)] pairs, masses summing to 1 for non-empty
+    histograms. *)

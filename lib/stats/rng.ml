@@ -1,0 +1,65 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let child_seed = bits64 t in
+  { state = child_seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for
+     bound << 2^62 and determinism is what matters here.  Masking with
+     max_int keeps the value non-negative after Int64 truncation. *)
+  let v = Int64.to_int (bits64 t) land max_int in
+  v mod bound
+
+let unit_float t =
+  (* 53 random bits mapped to [0,1). *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let categorical t w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Rng.categorical: weights sum to zero";
+  let x = unit_float t *. total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

@@ -1,0 +1,63 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_many t a = Array.iter (add t) a
+
+let count t = t.n
+let mean t = t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let total t = t.mean *. float_of_int t.n
+
+let second_moment t =
+  if t.n = 0 then 0.0 else (t.mean *. t.mean) +. (t.m2 /. float_of_int t.n)
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    { n; mean; m2; min = Stdlib.min a.min b.min; max = Stdlib.max a.max b.max }
+  end
+
+let of_array a =
+  let t = create () in
+  add_many t a;
+  t
+
+let quantile data q =
+  if Array.length data = 0 then invalid_arg "Summary.quantile: empty data";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q outside [0,1]";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)

@@ -1,0 +1,35 @@
+(** Uncertainty quantification for Code Tomography estimates.
+
+    End-to-end timing is an indirect observation of θ, so downstream
+    consumers (the placement pass, or an engineer deciding whether to trust
+    a profile) need to know how tight the estimate is.  This module
+    bootstraps the timing sample: resample with replacement, re-run EM
+    warm-started from the point estimate, and read percentile intervals per
+    parameter. *)
+
+type interval = { lo : float; point : float; hi : float }
+
+type t = {
+  intervals : interval array;  (** Per parameter, canonical order. *)
+  replicates : int;
+}
+
+val width : interval -> float
+
+val bootstrap :
+  ?replicates:int ->
+  ?confidence:float ->
+  ?max_iters:int ->
+  Stats.Rng.t ->
+  Paths.t ->
+  samples:float array ->
+  point:float array ->
+  t
+(** Defaults: 50 replicates, 90% confidence, 15 EM iterations per
+    replicate (warm-started, so few are needed).
+    @raise Invalid_argument on empty samples. *)
+
+val contains : t -> int -> float -> bool
+(** Does parameter [k]'s interval contain a value? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Expectation–maximization over the path mixture — the Code Tomography
+    estimator proper.
+
+    Each timing observation t is modelled as t = cost(π) + ε with π drawn
+    from the path distribution under θ and ε Gaussian measurement noise
+    (timer quantization + jitter).  The E-step computes path
+    responsibilities per observation; the M-step re-estimates each branch
+    probability as its expected traversal fraction and (optionally) the
+    noise scale.  Observations are grouped by value first — quantized
+    timings repeat heavily, making iterations O(distinct values × paths)
+    instead of O(samples × paths). *)
+
+type result = {
+  theta : float array;
+  sigma : float;
+  iterations : int;
+  log_likelihood : float;
+  converged : bool;
+  trajectory : (float array * float) list;
+      (** (θ, log-likelihood) after each iteration, oldest first — feeds
+          the convergence figure F7. *)
+}
+
+val estimate :
+  ?max_iters:int ->
+  ?tol:float ->
+  ?init:float array ->
+  ?sigma:float ->
+  ?estimate_sigma:bool ->
+  ?sigma_floor:float ->
+  Paths.t ->
+  samples:float array ->
+  result
+(** Defaults: 100 iterations, tolerance 1e-5 on max |Δθ|, uniform θ init,
+    initial σ 2.0 (cycles), σ re-estimated with floor 0.1.
+    @raise Invalid_argument on empty samples. *)
+
+val default_sigma : resolution:int -> jitter:float -> float
+(** Noise scale implied by the timer configuration for a {e differenced}
+    pair of timestamps: √((resolution²−1)/6 + 2·jitter²), floored at
+    0.1. *)

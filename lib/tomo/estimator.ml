@@ -1,0 +1,59 @@
+type method_ = Em | Moments | Naive
+
+let method_name = function Em -> "em" | Moments -> "moments" | Naive -> "naive"
+let all_methods = [ Em; Moments; Naive ]
+
+type t = {
+  method_ : method_;
+  theta : float array;
+  thetas_by_block : (int * float) list;
+  iterations : int;
+  log_likelihood : float option;
+  sigma : float option;
+  truncated_paths : bool;
+}
+
+let by_block model theta =
+  Array.to_list (Array.mapi (fun k id -> (id, theta.(k))) (Model.param_blocks model))
+
+let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters model
+    ~samples =
+  match method_ with
+  | Naive ->
+      let theta = Model.uniform_theta model in
+      {
+        method_;
+        theta;
+        thetas_by_block = by_block model theta;
+        iterations = 0;
+        log_likelihood = None;
+        sigma = None;
+        truncated_paths = false;
+      }
+  | Moments ->
+      let r = Moments.estimate ?max_iters ~noise_sigma model ~samples in
+      {
+        method_;
+        theta = r.Moments.theta;
+        thetas_by_block = by_block model r.Moments.theta;
+        iterations = r.Moments.iterations;
+        log_likelihood = None;
+        sigma = None;
+        truncated_paths = false;
+      }
+  | Em ->
+      let paths = Paths.enumerate ?max_paths ?max_visits model in
+      let r = Em.estimate ?max_iters ~sigma:noise_sigma paths ~samples in
+      {
+        method_;
+        theta = r.Em.theta;
+        thetas_by_block = by_block model r.Em.theta;
+        iterations = r.Em.iterations;
+        log_likelihood = Some r.Em.log_likelihood;
+        sigma = Some r.Em.sigma;
+        truncated_paths = Paths.truncated paths;
+      }
+
+let mae_against t truth = Stats.Metrics.mae t.theta truth
+
+let freq t model ~invocations = Model.freq_of_theta model ~theta:t.theta ~invocations

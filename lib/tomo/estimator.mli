@@ -1,0 +1,40 @@
+(** Front door for Code Tomography estimation.
+
+    Given the model of a probe-instrumented procedure and its end-to-end
+    timing samples, produce a θ estimate with one of the available
+    methods, plus the derived artifacts downstream passes want (per-block
+    probabilities, edge-frequency profile). *)
+
+type method_ =
+  | Em  (** Path-mixture EM — the paper's estimator. *)
+  | Moments  (** Mean/variance matching (ablation A8). *)
+  | Naive  (** θ = 0.5 everywhere: the no-profile prior. *)
+
+val method_name : method_ -> string
+val all_methods : method_ list
+
+type t = {
+  method_ : method_;
+  theta : float array;
+  thetas_by_block : (int * float) list;  (** Branch block id → P(taken). *)
+  iterations : int;
+  log_likelihood : float option;  (** EM only. *)
+  sigma : float option;  (** EM only: final noise scale. *)
+  truncated_paths : bool;  (** Path enumeration hit its bounds. *)
+}
+
+val run :
+  ?method_:method_ ->
+  ?noise_sigma:float ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  ?max_iters:int ->
+  Model.t ->
+  samples:float array ->
+  t
+(** Defaults: EM, noise σ from a unit-resolution jitter-free timer. *)
+
+val mae_against : t -> float array -> float
+(** Mean absolute θ error against a ground-truth vector. *)
+
+val freq : t -> Model.t -> invocations:float -> Cfgir.Freq.t

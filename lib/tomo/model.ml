@@ -1,0 +1,155 @@
+module Cfg = Cfgir.Cfg
+module Isa = Mote_isa.Isa
+
+type t = {
+  cfg : Cfg.t;
+  params : int array;
+  param_index : (int, int) Hashtbl.t;
+  block_cost : float array;
+  correction : float;
+}
+
+let of_cfg ?call_residual ?window_correction cfg =
+  let call_residual =
+    Option.value ~default:Profilekit.Probes.call_residual call_residual
+  in
+  let window_correction =
+    Option.value ~default:Profilekit.Probes.window_correction window_correction
+  in
+  let params = Array.of_list (Cfg.branch_blocks cfg) in
+  let param_index = Hashtbl.create 8 in
+  Array.iteri (fun k id -> Hashtbl.replace param_index id k) params;
+  let block_cost =
+    Array.init (Cfg.num_blocks cfg) (fun id ->
+        let b = Cfg.block cfg id in
+        float_of_int (b.Cfg.base_cost + (call_residual * List.length b.Cfg.callees)))
+  in
+  { cfg; params; param_index; block_cost; correction = float_of_int window_correction }
+
+let cfg t = t.cfg
+let num_params t = Array.length t.params
+let param_blocks t = Array.copy t.params
+let param_of_block t id = Hashtbl.find_opt t.param_index id
+let block_cost t id = t.block_cost.(id)
+let window_correction t = t.correction
+
+let check_theta t theta =
+  if Array.length theta <> num_params t then
+    invalid_arg
+      (Printf.sprintf "Tomo.Model: theta has %d entries, model has %d parameters"
+         (Array.length theta) (num_params t));
+  Array.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 then invalid_arg "Tomo.Model: theta entry outside [0,1]")
+    theta
+
+let uniform_theta t = Array.make (num_params t) 0.5
+
+let chain t ~theta =
+  check_theta t theta;
+  let n = Cfg.num_blocks t.cfg in
+  let m = Linalg.Matrix.make n n 0.0 in
+  for id = 0 to n - 1 do
+    match (Cfg.block t.cfg id).Cfg.term with
+    | Cfg.T_branch (_, taken, fall) ->
+        let k = Hashtbl.find t.param_index id in
+        m.(id).(taken) <- m.(id).(taken) +. theta.(k);
+        m.(id).(fall) <- m.(id).(fall) +. (1.0 -. theta.(k))
+    | Cfg.T_jump dst | Cfg.T_fall dst -> m.(id).(dst) <- 1.0
+    | Cfg.T_ret | Cfg.T_halt -> ()
+  done;
+  Markov.Chain.create m
+
+let penalty = float_of_int Isa.taken_penalty
+
+(* Per-block expected reward: block cost plus the expected penalty of the
+   out-edge taken from it. *)
+let rewards t ~theta =
+  Array.init (Cfg.num_blocks t.cfg) (fun id ->
+      let edge_penalty =
+        match (Cfg.block t.cfg id).Cfg.term with
+        | Cfg.T_branch _ ->
+            let k = Hashtbl.find t.param_index id in
+            penalty *. theta.(k)
+        | Cfg.T_jump _ -> penalty
+        | Cfg.T_fall _ -> 0.0
+        (* Exit blocks: the ret's penalty is outside the probe window and
+           already accounted for by the window correction. *)
+        | Cfg.T_ret | Cfg.T_halt -> 0.0
+      in
+      t.block_cost.(id) +. edge_penalty)
+
+let analysis t ~theta = Markov.Absorbing.analyze (chain t ~theta)
+
+let mean_time t ~theta =
+  let a = analysis t ~theta in
+  Markov.Absorbing.mean_reward a ~rewards:(rewards t ~theta) ~start:0 -. t.correction
+
+(* The window cost is a sum of edge-dependent rewards (the taken penalty is
+   paid per edge, not per state), so moments beyond the mean need the chain
+   expanded onto edges: one state per CFG edge, rewarded with the edge's
+   penalty plus its destination block's cost.  On that chain the accumulated
+   reward equals the path cost exactly. *)
+let edge_expanded t ~theta =
+  check_theta t theta;
+  let cfg = t.cfg in
+  let edges = Cfg.edges cfg in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i e -> Hashtbl.replace index e i) edges;
+  let n = List.length edges + 1 in
+  (* State 0: "just entered the procedure at block 0"; state i+1: "just
+     traversed edge i". *)
+  let m = Linalg.Matrix.make n n 0.0 in
+  let out_probs src =
+    match (Cfg.block cfg src).Cfg.term with
+    | Cfg.T_branch (_, taken, fall) ->
+        let k = Hashtbl.find t.param_index src in
+        [ ((src, taken, Cfg.K_taken), theta.(k)); ((src, fall, Cfg.K_fall), 1.0 -. theta.(k)) ]
+    | Cfg.T_jump dst -> [ ((src, dst, Cfg.K_jump), 1.0) ]
+    | Cfg.T_fall dst -> [ ((src, dst, Cfg.K_fall), 1.0) ]
+    | Cfg.T_ret | Cfg.T_halt -> []
+  in
+  let connect state block =
+    List.iter
+      (fun (edge, p) -> m.(state).(Hashtbl.find index edge + 1) <- p)
+      (out_probs block)
+  in
+  connect 0 0;
+  List.iteri (fun i (_, dst, _) -> connect (i + 1) dst) edges;
+  let edge_penalty = function
+    | Cfg.K_taken | Cfg.K_jump -> penalty
+    | Cfg.K_fall -> 0.0
+  in
+  let rewards =
+    Array.of_list
+      (t.block_cost.(0)
+      :: List.map
+           (fun (_, dst, kind) -> edge_penalty kind +. t.block_cost.(dst))
+           edges)
+  in
+  (Markov.Chain.create m, rewards)
+
+let variance_time t ~theta =
+  let chain, rewards = edge_expanded t ~theta in
+  let a = Markov.Absorbing.analyze chain in
+  Markov.Absorbing.variance_reward a ~rewards ~start:0
+
+let expected_visits t ~theta =
+  Markov.Absorbing.expected_visits (analysis t ~theta) ~start:0
+
+let freq_of_theta t ~theta ~invocations =
+  check_theta t theta;
+  let visits = expected_visits t ~theta in
+  let freq = Cfgir.Freq.create t.cfg ~invocations in
+  for id = 0 to Cfg.num_blocks t.cfg - 1 do
+    let v = visits.(id) *. invocations in
+    match (Cfg.block t.cfg id).Cfg.term with
+    | Cfg.T_branch (_, taken, fall) ->
+        let k = Hashtbl.find t.param_index id in
+        Cfgir.Freq.bump freq ~src:id ~dst:taken ~kind:Cfg.K_taken (v *. theta.(k));
+        Cfgir.Freq.bump freq ~src:id ~dst:fall ~kind:Cfg.K_fall (v *. (1.0 -. theta.(k)))
+    | Cfg.T_jump dst -> Cfgir.Freq.bump freq ~src:id ~dst ~kind:Cfg.K_jump v
+    | Cfg.T_fall dst -> Cfgir.Freq.bump freq ~src:id ~dst ~kind:Cfg.K_fall v
+    | Cfg.T_ret | Cfg.T_halt -> ()
+  done;
+  freq

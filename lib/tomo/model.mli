@@ -1,0 +1,57 @@
+(** The discrete-time Markov model of one procedure's execution.
+
+    States are the basic blocks of the {e probe-instrumented} binary's CFG;
+    the unknown parameters θ are the taken-probabilities of its conditional
+    branches, in {!Cfgir.Cfg.branch_blocks} order (an order that survives
+    instrumentation, so estimates transfer to the original binary's CFG
+    index-by-index).
+
+    The observable is the probe window: end-to-end cycles between the entry
+    and exit timestamps.  Its analytic moments come from absorbing-chain
+    theory with per-block rewards
+    [c_b + call_residual·calls_b + penalty·E(taken out-edge)], corrected by
+    the fixed window offset. *)
+
+type t
+
+val of_cfg : ?call_residual:int -> ?window_correction:int -> Cfgir.Cfg.t -> t
+(** Defaults come from {!Profilekit.Probes} — use them whenever the CFG is
+    of a probe-instrumented binary.  Pass [~call_residual:0
+    ~window_correction:0] to model a bare chain (used by tests on synthetic
+    CFGs). *)
+
+val cfg : t -> Cfgir.Cfg.t
+val num_params : t -> int
+val param_blocks : t -> int array
+(** Branch block ids, one per parameter. *)
+
+val param_of_block : t -> int -> int option
+
+val block_cost : t -> int -> float
+(** Reward of a block excluding edge penalties: base cycles plus the
+    call residual for each call it makes. *)
+
+val window_correction : t -> float
+
+val chain : t -> theta:float array -> Markov.Chain.t
+(** Transition matrix under θ: branch edges get θ / 1−θ, unconditional
+    edges 1; exits leak to absorption. *)
+
+val mean_time : t -> theta:float array -> float
+(** Analytic expected window duration. *)
+
+val variance_time : t -> theta:float array -> float
+(** Analytic variance, computed exactly on the edge-expanded chain (one
+    state per CFG edge, so per-edge penalties are honoured). *)
+
+val expected_visits : t -> theta:float array -> float array
+
+val freq_of_theta : t -> theta:float array -> invocations:float -> Cfgir.Freq.t
+(** The edge-frequency profile the placement pass consumes: expected block
+    visits under θ times each out-edge's probability. *)
+
+val uniform_theta : t -> float array
+(** The no-information prior: every branch 50/50. *)
+
+val check_theta : t -> float array -> unit
+(** @raise Invalid_argument on wrong arity or out-of-range entries. *)

@@ -1,0 +1,33 @@
+(** Method-of-moments estimation: the cheap alternative the ablation (A8)
+    compares EM against.
+
+    Matches the model's analytic mean and variance of the probe window
+    (from absorbing-chain theory, see {!Model}) against the sample moments
+    by projected gradient descent on θ, with numeric gradients — the
+    objective is a smooth rational function of θ but writing its gradient
+    analytically buys nothing at CFG scale.  Identifiability is weaker
+    than EM's (two moments versus the whole distribution), which is the
+    effect the ablation demonstrates. *)
+
+type result = {
+  theta : float array;
+  iterations : int;
+  objective : float;  (** Final loss (normalized squared moment errors). *)
+  converged : bool;
+}
+
+val estimate :
+  ?max_iters:int ->
+  ?tol:float ->
+  ?init:float array ->
+  ?learning_rate:float ->
+  ?variance_weight:float ->
+  ?noise_sigma:float ->
+  Model.t ->
+  samples:float array ->
+  result
+(** Defaults: 400 iterations, tol 1e-9 on objective improvement, uniform
+    init, learning rate 0.15 with halving on non-improvement,
+    variance term weighted 0.3, noise σ 0 (its variance is subtracted
+    from the sample variance before matching).
+    @raise Invalid_argument on empty samples. *)

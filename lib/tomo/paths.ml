@@ -1,0 +1,90 @@
+module Cfg = Cfgir.Cfg
+module Isa = Mote_isa.Isa
+
+type path = { cost : float; taken : int array; nottaken : int array }
+
+type t = { model : Model.t; paths : path array; truncated : bool }
+
+exception Too_complex of string
+
+let penalty = float_of_int Isa.taken_penalty
+
+let enumerate ?(max_paths = 4096) ?(max_visits = 12) model =
+  let cfg = Model.cfg model in
+  let n = Cfg.num_blocks cfg in
+  let k = Model.num_params model in
+  let visits = Array.make n 0 in
+  let taken = Array.make k 0 in
+  let nottaken = Array.make k 0 in
+  let acc = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  (* DFS carrying the running cost.  Mutable count arrays are restored on
+     the way out, so the whole walk allocates only completed paths. *)
+  let rec walk id cost =
+    if !count >= max_paths then truncated := true
+    else if visits.(id) >= max_visits then truncated := true
+    else begin
+      visits.(id) <- visits.(id) + 1;
+      let cost = cost +. Model.block_cost model id in
+      (match (Cfg.block cfg id).Cfg.term with
+      | Cfg.T_ret | Cfg.T_halt ->
+          incr count;
+          acc :=
+            {
+              cost = cost -. Model.window_correction model;
+              taken = Array.copy taken;
+              nottaken = Array.copy nottaken;
+            }
+            :: !acc
+      | Cfg.T_jump dst -> walk dst (cost +. penalty)
+      | Cfg.T_fall dst -> walk dst cost
+      | Cfg.T_branch (_, tdst, fdst) ->
+          let p = Option.get (Model.param_of_block model id) in
+          taken.(p) <- taken.(p) + 1;
+          walk tdst (cost +. penalty);
+          taken.(p) <- taken.(p) - 1;
+          nottaken.(p) <- nottaken.(p) + 1;
+          walk fdst cost;
+          nottaken.(p) <- nottaken.(p) - 1);
+      visits.(id) <- visits.(id) - 1
+    end
+  in
+  if n > 0 then walk 0 0.0;
+  if !acc = [] then
+    raise
+      (Too_complex
+         (Printf.sprintf "no complete path within %d paths / %d visits" max_paths
+            max_visits));
+  { model; paths = Array.of_list (List.rev !acc); truncated = !truncated }
+
+let model t = t.model
+let paths t = t.paths
+let truncated t = t.truncated
+
+let log_prior t ~theta =
+  Model.check_theta t.model theta;
+  let eps = 1e-12 in
+  let log_t = Array.map (fun p -> log (Stdlib.max eps p)) theta in
+  let log_f = Array.map (fun p -> log (Stdlib.max eps (1.0 -. p))) theta in
+  Array.map
+    (fun path ->
+      let acc = ref 0.0 in
+      Array.iteri (fun p c -> acc := !acc +. (float_of_int c *. log_t.(p))) path.taken;
+      Array.iteri (fun p c -> acc := !acc +. (float_of_int c *. log_f.(p))) path.nottaken;
+      !acc)
+    t.paths
+
+let prior_mass t ~theta =
+  log_prior t ~theta |> Array.fold_left (fun acc lp -> acc +. exp lp) 0.0
+
+let fold_cost f init t =
+  Array.fold_left (fun acc p -> f acc p.cost) init t.paths
+
+let min_cost t = fold_cost Stdlib.min infinity t
+let max_cost t = fold_cost Stdlib.max neg_infinity t
+
+let sample_costs rng t ~theta ~n =
+  let lp = log_prior t ~theta in
+  let weights = Array.map exp lp in
+  Array.init n (fun _ -> t.paths.(Stats.Rng.categorical rng weights).cost)

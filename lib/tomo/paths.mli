@@ -1,0 +1,42 @@
+(** Bounded enumeration of program paths through a procedure model.
+
+    A path is an entry→exit walk; its probability under θ is
+    Π θ_k^taken_k (1−θ_k)^nottaken_k and its cost is the exact window
+    duration the probes would measure if execution followed it.  Loops make
+    the path space infinite, so enumeration bounds the visits per block
+    ([max_visits]) and the total number of paths ([max_paths]); the EM
+    estimator renormalizes over the enumerated set.  [truncated] reports
+    whether anything was cut off — with geometrically-decaying loop
+    probabilities the missing mass is the geometric tail. *)
+
+type path = {
+  cost : float;  (** Exact window cost along this path. *)
+  taken : int array;  (** Per parameter: times the branch was taken. *)
+  nottaken : int array;
+}
+
+type t
+
+exception Too_complex of string
+(** Raised when not even one complete path fits within the bounds. *)
+
+val enumerate : ?max_paths:int -> ?max_visits:int -> Model.t -> t
+(** Defaults: 4096 paths, 12 visits per block. *)
+
+val model : t -> Model.t
+val paths : t -> path array
+val truncated : t -> bool
+
+val log_prior : t -> theta:float array -> float array
+(** Per-path log probability under θ (not renormalized). *)
+
+val prior_mass : t -> theta:float array -> float
+(** Total probability of the enumerated set — 1 minus truncation loss. *)
+
+val min_cost : t -> float
+val max_cost : t -> float
+
+val sample_costs :
+  Stats.Rng.t -> t -> theta:float array -> n:int -> float array
+(** Draw path costs according to the (renormalized) path distribution —
+    synthetic timing observations for tests. *)

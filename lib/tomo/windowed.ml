@@ -1,0 +1,59 @@
+type window = { index : int; first_sample : int; theta : float array; drift : float }
+
+type t = { windows : window list; max_drift : float }
+
+let estimate ?(window_size = 200) ?(max_iters = 40) ?sigma paths ~samples =
+  if window_size <= 0 then invalid_arg "Windowed.estimate: window size must be positive";
+  let n = Array.length samples in
+  if n < window_size / 2 then
+    invalid_arg "Windowed.estimate: not enough samples for one window";
+  (* Window boundaries: full windows, plus a tail if it is substantial. *)
+  let starts = ref [] in
+  let at = ref 0 in
+  while !at + window_size <= n do
+    starts := !at :: !starts;
+    at := !at + window_size
+  done;
+  let starts = List.rev !starts in
+  let boundaries =
+    match List.rev starts with
+    | [] -> [ (0, n) ]
+    | last :: _ ->
+        let tail = n - (last + window_size) in
+        List.mapi
+          (fun i s ->
+            let is_last = s = last in
+            let finish =
+              if is_last && tail < window_size / 4 then n else s + window_size
+            in
+            ignore i;
+            (s, finish))
+          starts
+        @ (if tail >= window_size / 4 then [ (last + window_size, n) ] else [])
+  in
+  let model = Paths.model paths in
+  let prev = ref (Model.uniform_theta model) in
+  let max_drift = ref 0.0 in
+  let windows =
+    List.mapi
+      (fun index (s, finish) ->
+        let chunk = Array.sub samples s (finish - s) in
+        let r = Em.estimate ~max_iters ~init:!prev ?sigma paths ~samples:chunk in
+        let drift =
+          if index = 0 then 0.0
+          else if Array.length r.Em.theta = 0 then 0.0
+          else Stats.Metrics.max_abs_error r.Em.theta !prev
+        in
+        prev := r.Em.theta;
+        if drift > !max_drift then max_drift := drift;
+        { index; first_sample = s; theta = r.Em.theta; drift })
+      boundaries
+  in
+  { windows; max_drift = !max_drift }
+
+let drifted ?(threshold = 0.15) t = t.max_drift > threshold
+
+let final_theta t =
+  match List.rev t.windows with
+  | w :: _ -> w.theta
+  | [] -> invalid_arg "Windowed.final_theta: no windows"

@@ -1,0 +1,110 @@
+(* Random mote-program generator: structured programs over the sensor
+   builtins, for property-based testing of the whole stack (compiler →
+   simulator → probes → estimator → placement) and for scalability
+   benchmarks beyond the five hand-written workloads. *)
+
+open Mote_lang.Ast
+
+type config = {
+  seed : int;
+  max_depth : int;  (* nesting depth of if/while *)
+  stmts_per_block : int;
+  loop_bound : int;  (* static cap on generated while trip counts *)
+}
+
+let default_config = { seed = 1; max_depth = 3; stmts_per_block = 3; loop_bound = 5 }
+
+let arith_ops = [| Add; Sub; BAnd; BOr; BXor |]
+let rel_ops = [| Req; Rne; Rlt; Rle; Rgt; Rge |]
+
+(* Expressions stay shallow: the register budget is 12 and conditions need
+   a couple of temporaries. *)
+let rec gen_expr rng vars depth =
+  let leaf () =
+    match Stats.Rng.int rng 3 with
+    | 0 -> Int (Stats.Rng.int rng 64)
+    | 1 -> Var (Stats.Rng.choose rng vars)
+    | _ -> Read_sensor (Stats.Rng.int rng 2)
+  in
+  if depth = 0 then leaf ()
+  else
+    match Stats.Rng.int rng 4 with
+    | 0 | 1 -> leaf ()
+    | 2 ->
+        Bin
+          ( Stats.Rng.choose rng arith_ops,
+            gen_expr rng vars (depth - 1),
+            gen_expr rng vars (depth - 1) )
+    | _ -> Bin (Shr, gen_expr rng vars (depth - 1), Int (1 + Stats.Rng.int rng 3))
+
+let gen_cond rng vars =
+  (* Sensor-driven comparisons make the branch stochastic; thresholds sit
+     inside the ADC range so both outcomes occur. *)
+  Rel
+    ( Stats.Rng.choose rng rel_ops,
+      (if Stats.Rng.bool rng then Read_sensor (Stats.Rng.int rng 2)
+       else Var (Stats.Rng.choose rng vars)),
+      Int (200 + Stats.Rng.int rng 600) )
+
+let rec gen_stmt cfg rng vars depth =
+  let assign () =
+    Assign (Stats.Rng.choose rng vars, gen_expr rng vars 2)
+  in
+  if depth = 0 then assign ()
+  else
+    match Stats.Rng.int rng 6 with
+    | 0 | 1 -> assign ()
+    | 2 -> If (gen_cond rng vars, gen_block cfg rng vars (depth - 1), [])
+    | 3 ->
+        If
+          ( gen_cond rng vars,
+            gen_block cfg rng vars (depth - 1),
+            gen_block cfg rng vars (depth - 1) )
+    | 4 ->
+        (* Bounded counting loop with a data-dependent early exit flavour:
+           trip count from a sensor read masked to the loop bound. *)
+        let k = "k" ^ string_of_int depth in
+        ignore k;
+        While
+          ( Rel (Rlt, Var "loop_k", Bin (BAnd, Read_sensor 0, Int cfg.loop_bound)),
+            gen_block cfg rng vars (depth - 1)
+            @ [ Assign ("loop_k", Bin (Add, Var "loop_k", Int 1)) ] )
+    | _ -> Radio_tx (gen_expr rng vars 1)
+
+and gen_block cfg rng vars depth =
+  List.init (1 + Stats.Rng.int rng cfg.stmts_per_block) (fun _ ->
+      gen_stmt cfg rng vars depth)
+
+let generate ?(config = default_config) () =
+  let rng = Stats.Rng.create config.seed in
+  let vars = [| "a"; "b"; "c" |] in
+  (* Always open with a conditional so no generated program is branch-free
+     (a straight-line "task" would have nothing to estimate or place).
+     Its arms stay shallow; size comes from the main block. *)
+  let forced =
+    If (gen_cond rng vars, gen_block config rng vars 0, gen_block config rng vars 0)
+  in
+  let body =
+    (Assign ("loop_k", Int 0) :: forced :: gen_block config rng vars config.max_depth)
+    @ [ Assign ("out", Var "a") ]
+  in
+  let task =
+    {
+      name = "gen_task";
+      params = [];
+      locals = [ "a"; "b"; "c"; "loop_k" ];
+      body;
+    }
+  in
+  { globals = [ ("out", 0) ]; arrays = []; procs = [ task ] }
+
+let env_config ~seed =
+  {
+    Env.seed;
+    channels =
+      [
+        (0, Env.Gaussian { mu = 512.0; sigma = 150.0 });
+        (1, Env.Uniform (0, 1023));
+      ];
+    radio = Env.Silent;
+  }

@@ -1,0 +1,22 @@
+(** Random structured mote programs.
+
+    Exercises the full stack on shapes no one hand-wrote: nested
+    conditionals and bounded sensor-driven loops with stochastic branch
+    outcomes.  Every generated program has a single task procedure named
+    ["gen_task"] and a global ["out"].  Generation is deterministic in the
+    config seed. *)
+
+type config = {
+  seed : int;
+  max_depth : int;
+  stmts_per_block : int;
+  loop_bound : int;
+}
+
+val default_config : config
+
+val generate : ?config:config -> unit -> Mote_lang.Ast.program
+
+val env_config : seed:int -> Env.config
+(** Gaussian channel 0, uniform channel 1 — the inputs the generated
+    conditions read. *)

@@ -1,0 +1,306 @@
+open Mote_lang.Ast.Dsl
+module Node = Mote_os.Node
+
+type t = {
+  name : string;
+  description : string;
+  program : Mote_lang.Ast.program;
+  tasks : Node.task list;
+  env_config : Env.config;
+  profiled : string list;
+  horizon : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* blink: the TinyOS hello-world.  Branch ratios are counter-driven    *)
+(* (1/8 duty) plus one rare sensor-triggered alarm.                    *)
+(* ------------------------------------------------------------------ *)
+
+let blink =
+  let blink_task =
+    proc "blink_task" ~params:[] ~locals:[ "v" ]
+      [
+        set "counter" (v "counter" +: i 1);
+        if_ ((v "counter" &: i 7) =: i 0) [ led (i 1) ] [ led (i 0) ];
+        set "v" (sensor 0);
+        when_ (v "v" >: i 960) [ led (i 3); set "alarms" (v "alarms" +: i 1) ];
+      ]
+  in
+  {
+    name = "blink";
+    description = "LED blinker with a rare over-range alarm";
+    program = { globals = [ ("counter", 0); ("alarms", 0) ]; arrays = []; procs = [ blink_task ] };
+    tasks = [ { Node.proc = "blink_task"; source = Node.Periodic { period = 601; offset = 17 } } ];
+    env_config =
+      { Env.seed = 42; channels = [ (0, Env.Gaussian { mu = 512.0; sigma = 120.0 }) ]; radio = Env.Silent };
+    profiled = [ "blink_task" ];
+    horizon = 3_000_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* sense: threshold reporting under a bursty phenomenon; the hot path  *)
+(* is the quiet one, so natural layout leaves the common case on the   *)
+(* fall-through only by luck.  A slow aggregation task adds a loop.    *)
+(* ------------------------------------------------------------------ *)
+
+let sense =
+  let sense_task =
+    proc "sense_task" ~params:[] ~locals:[ "val" ]
+      [
+        set "val" (sensor 0);
+        if_
+          (v "val" >: v "threshold")
+          [ send (v "val"); set "events" (v "events" +: i 1); led (i 1) ]
+          [ set "acc" (v "acc" +: (v "val" >>: i 4)); led (i 0) ];
+      ]
+  in
+  let report_task =
+    proc "report_task" ~params:[] ~locals:[ "k" ]
+      [
+        set "k" (i 0);
+        while_ (v "k" <: i 6)
+          [ set "acc" (v "acc" -: (v "acc" >>: i 3)); set "k" (v "k" +: i 1) ];
+        send (v "acc");
+        when_ (v "events" >: i 10) [ set "threshold" (v "threshold" +: i 4) ];
+        when_ (v "events" =: i 0) [ set "threshold" (v "threshold" -: i 2) ];
+        set "events" (i 0);
+      ]
+  in
+  {
+    name = "sense";
+    description = "threshold sense-and-send with adaptive reporting";
+    program =
+      {
+        globals = [ ("threshold", 780); ("acc", 0); ("events", 0) ];
+        arrays = [];
+        procs = [ sense_task; report_task ];
+      };
+    tasks =
+      [
+        { Node.proc = "sense_task"; source = Node.Periodic { period = 901; offset = 31 } };
+        { Node.proc = "report_task"; source = Node.Periodic { period = 13999; offset = 4001 } };
+      ];
+    env_config =
+      {
+        Env.seed = 42;
+        channels =
+          [
+            ( 0,
+              Env.Bursty
+                {
+                  quiet = Env.Gaussian { mu = 500.0; sigma = 70.0 };
+                  active = Env.Gaussian { mu = 860.0; sigma = 50.0 };
+                  p_enter = 0.03;
+                  p_exit = 0.12;
+                } );
+          ];
+        radio = Env.Silent;
+      };
+    profiled = [ "sense_task"; "report_task" ];
+    horizon = 4_000_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* filter: EWMA smoothing with a nested rare-path spike detector.      *)
+(* ------------------------------------------------------------------ *)
+
+let filter =
+  let filter_task =
+    proc "filter_task" ~params:[] ~locals:[ "val"; "diff" ]
+      [
+        set "val" (sensor 0);
+        set "ewma" (v "ewma" +: ((v "val" -: v "ewma") >>: i 3));
+        set "diff" (v "val" -: v "ewma");
+        when_ (v "diff" <: i 0) [ set "diff" (i 0 -: v "diff") ];
+        if_
+          (v "diff" >: i 90)
+          [
+            set "spikes" (v "spikes" +: i 1);
+            when_ (v "spikes" >: i 3) [ send (v "ewma"); set "spikes" (i 0); led (i 2) ];
+          ]
+          [ when_ (v "spikes" >: i 0) [ set "spikes" (v "spikes" -: i 1) ] ];
+      ]
+  in
+  {
+    name = "filter";
+    description = "EWMA filter with spike confirmation before reporting";
+    program = { globals = [ ("ewma", 512); ("spikes", 0) ]; arrays = []; procs = [ filter_task ] };
+    tasks =
+      [ { Node.proc = "filter_task"; source = Node.Periodic { period = 801; offset = 13 } } ];
+    env_config =
+      {
+        Env.seed = 42;
+        channels =
+          [
+            ( 0,
+              Env.Bursty
+                {
+                  quiet = Env.Gaussian { mu = 512.0; sigma = 40.0 };
+                  active = Env.Gaussian { mu = 740.0; sigma = 90.0 };
+                  p_enter = 0.05;
+                  p_exit = 0.25;
+                } );
+          ];
+        radio = Env.Silent;
+      };
+    profiled = [ "filter_task" ];
+    horizon = 4_000_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* ctp: a collection-tree forwarding node.  Packet kind and hop count  *)
+(* come from the payload, so branch probabilities mirror the traffic   *)
+(* mix; the beacon task has a data-dependent backoff loop.             *)
+(* ------------------------------------------------------------------ *)
+
+let ctp =
+  let rx_task =
+    (* Data packets pass a small duplicate-suppression cache (linear scan
+       over recently seen payloads, CTP-style) before being forwarded. *)
+    proc "ctp_rx_task" ~params:[] ~locals:[ "pkt"; "kind"; "hops"; "k"; "dup" ]
+      [
+        set "pkt" radio_rx;
+        set "kind" (v "pkt" &: i 3);
+        if_
+          (v "kind" =: i 0)
+          [
+            set "dup" (i 0);
+            set "k" (i 0);
+            while_ (v "k" <: i 4)
+              [
+                when_ (at "seen" (v "k") =: v "pkt") [ set "dup" (i 1) ];
+                set "k" (v "k" +: i 1);
+              ];
+            if_
+              (v "dup" =: i 1)
+              [ set "dropped" (v "dropped" +: i 1) ]
+              [
+                set_at "seen" (v "seen_next" &: i 3) (v "pkt");
+                set "seen_next" (v "seen_next" +: i 1);
+                set "hops" ((v "pkt" >>: i 2) &: i 15);
+                if_
+                  (v "hops" <: i 12)
+                  [
+                    send ((v "pkt" +: i 4) &: i 16383);
+                    set "forwarded" (v "forwarded" +: i 1);
+                  ]
+                  [ set "dropped" (v "dropped" +: i 1) ];
+              ];
+          ]
+          [
+            if_
+              (v "kind" =: i 1)
+              [
+                set "beacons" (v "beacons" +: i 1);
+                set "etx" (v "etx" +: (((v "pkt" >>: i 2) &: i 63) -: (v "etx" >>: i 1)));
+              ]
+              [ set "dropped" (v "dropped" +: i 1) ];
+          ];
+      ]
+  in
+  let beacon_task =
+    proc "ctp_beacon_task" ~params:[] ~locals:[ "k"; "backoff" ]
+      [
+        set "backoff" (v "etx" &: i 3);
+        set "k" (i 0);
+        while_ (v "k" <: v "backoff") [ set "k" (v "k" +: i 1) ];
+        send ((v "etx" <<: i 2) |: i 1);
+      ]
+  in
+  {
+    name = "ctp";
+    description = "collection-tree routing node: forwarding + beacons";
+    program =
+      {
+        globals =
+          [ ("etx", 10); ("forwarded", 0); ("dropped", 0); ("beacons", 0);
+            ("seen_next", 0) ];
+        arrays = [ ("seen", 4) ];
+        procs = [ rx_task; beacon_task ];
+      };
+    tasks =
+      [
+        { Node.proc = "ctp_rx_task"; source = Node.On_radio_rx };
+        {
+          Node.proc = "ctp_beacon_task";
+          source = Node.Periodic { period = 19997; offset = 513 };
+        };
+      ];
+    env_config =
+      {
+        Env.seed = 42;
+        channels = [];
+        radio = Env.Poisson { per_kilocycle = 0.6; payload_lo = 0; payload_hi = 4095 };
+      };
+    profiled = [ "ctp_rx_task"; "ctp_beacon_task" ];
+    horizon = 5_000_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* monitor: multi-procedure health monitor; helper calls exercise the  *)
+(* exclusive-time accounting in the probes.                            *)
+(* ------------------------------------------------------------------ *)
+
+let monitor =
+  let clamp_proc =
+    proc "clamp" ~params:[ "x"; "lo"; "hi" ] ~locals:[]
+      [
+        when_ (v "x" <: v "lo") [ return (v "lo") ];
+        when_ (v "x" >: v "hi") [ return (v "hi") ];
+        return (v "x");
+      ]
+  in
+  let score_proc =
+    proc "score" ~params:[ "val" ] ~locals:[ "s" ]
+      [
+        set "s" (v "val" >>: i 2);
+        when_ (v "s" >: i 200) [ set "s" (i 200 +: ((v "s" -: i 200) >>: i 1)) ];
+        return (v "s");
+      ]
+  in
+  let monitor_task =
+    proc "monitor_task" ~params:[] ~locals:[ "val"; "s" ]
+      [
+        set "tick" (v "tick" +: i 1);
+        set "val" (sensor 1);
+        set "s" (fn "score" [ v "val" ]);
+        set "s" (fn "clamp" [ v "s"; i 10; i 240 ]);
+        when_ (v "s" >: v "worst") [ set "worst" (v "s") ];
+        when_ ((v "tick" &: i 15) =: i 0) [ send (v "worst"); set "worst" (i 0) ];
+      ]
+  in
+  {
+    name = "monitor";
+    description = "health monitor with helper procedures";
+    program =
+      {
+        globals = [ ("tick", 0); ("worst", 0) ];
+        arrays = [];
+        procs = [ clamp_proc; score_proc; monitor_task ];
+      };
+    tasks =
+      [
+        { Node.proc = "monitor_task"; source = Node.Periodic { period = 1201; offset = 7 } };
+      ];
+    env_config =
+      {
+        Env.seed = 42;
+        (* Stationary input so branch statistics carry across runs — the
+           drifting-phenomenon case is studied separately in the examples. *)
+        channels = [ (1, Env.Gaussian { mu = 780.0; sigma = 120.0 }) ];
+        radio = Env.Silent;
+      };
+    profiled = [ "monitor_task"; "score"; "clamp" ];
+    horizon = 4_000_000;
+  }
+
+let all = [ blink; sense; filter; ctp; monitor ]
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let compiled w = Mote_lang.Compile.compile w.program
+
+module Generator = Generator

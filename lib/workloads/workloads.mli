@@ -1,0 +1,42 @@
+(** The benchmark suite: five sensor-network applications in the
+    mini-language, with the stochastic environment and task schedule each
+    runs under.
+
+    They span the behaviours the paper's evaluation needs: counter-driven
+    periodic blinking (deterministic branch ratios), threshold detection
+    under bursty phenomena (skewed, environment-dependent branches), EWMA
+    filtering with nested rare paths, CTP-style packet forwarding driven by
+    radio arrivals (data-dependent branch and loop behaviour), and a
+    multi-procedure health monitor (exercises call handling in the timing
+    probes). *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Mote_lang.Ast.program;
+  tasks : Mote_os.Node.task list;
+  env_config : Env.config;
+  profiled : string list;
+      (** Procedures whose profiles are estimated and whose placement is
+          optimized. *)
+  horizon : int;  (** Default simulated cycles per run. *)
+}
+
+val blink : t
+val sense : t
+val filter : t
+val ctp : t
+val monitor : t
+
+val all : t list
+
+val find : string -> t
+(** @raise Not_found on unknown names. *)
+
+val compiled : t -> Mote_lang.Compile.t
+(** Compile the workload's program (checked; raises on semantic errors —
+    the test suite compiles all of them). *)
+
+(** Random structured mote programs for property tests and scalability
+    studies — see {!module:Generator}. *)
+module Generator = Generator

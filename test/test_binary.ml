@@ -1,0 +1,230 @@
+(* Mote_isa.Encode and Mote_isa.Parse: flash images and textual assembly. *)
+
+module Isa = Mote_isa.Isa
+module Asm = Mote_isa.Asm
+module Program = Mote_isa.Program
+module Encode = Mote_isa.Encode
+module Parse = Mote_isa.Parse
+
+let sample_instrs : int Isa.instr list =
+  [
+    Isa.Nop; Isa.Halt; Isa.Ret; Isa.Mov (3, 4); Isa.Cmp (1, 2); Isa.Push 7; Isa.Pop 8;
+    Isa.In (2, Isa.P_timer); Isa.In (5, Isa.P_sensor 3); Isa.In (0, Isa.P_radio_rx);
+    Isa.Out (Isa.P_radio_tx, 1); Isa.Out (Isa.P_leds, 2); Isa.Out (Isa.P_probe, 13);
+    Isa.Out (Isa.P_counter, 13); Isa.Movi (9, -123); Isa.Movi (0, 32767);
+    Isa.Alui (Isa.Add, 1, 2, 77); Isa.Alui (Isa.Shr, 3, 3, 2); Isa.Cmpi (5, -1);
+    Isa.Ld (1, 2, 3); Isa.Ld (1, 2, -3); Isa.St (4, 0, 5); Isa.Br (Isa.Le, 12);
+    Isa.Jmp 0; Isa.Call 7; Isa.Alu (Isa.Mul, 1, 2, 3); Isa.Alu (Isa.Xor, 15, 14, 13);
+  ]
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun instr ->
+      let words = Encode.encode_instr instr in
+      Alcotest.(check int)
+        (Isa.to_string string_of_int instr ^ " size")
+        (Isa.size instr) (List.length words);
+      List.iter
+        (fun w -> Alcotest.(check bool) "word range" true (w >= 0 && w <= 0xFFFF))
+        words;
+      match Encode.decode_instr words with
+      | Some (decoded, []) ->
+          Alcotest.(check bool) (Isa.to_string string_of_int instr) true (decoded = instr)
+      | _ -> Alcotest.fail "decode failed")
+    sample_instrs
+
+let test_stream_roundtrip () =
+  (* Concatenated stream decodes instruction-by-instruction. *)
+  let words = List.concat_map Encode.encode_instr sample_instrs in
+  let rec drain stream acc =
+    match Encode.decode_instr stream with
+    | None -> List.rev acc
+    | Some (i, rest) -> drain rest (i :: acc)
+  in
+  Alcotest.(check bool) "stream roundtrip" true (drain words [] = sample_instrs)
+
+let test_program_image () =
+  let p =
+    Asm.assemble
+      [
+        Asm.Proc "main"; Asm.movi 0 5; Asm.Label "loop"; Asm.subi 0 0 1; Asm.cmpi 0 0;
+        Asm.br Isa.Gt "loop"; Asm.halt;
+      ]
+  in
+  let image = Encode.encode p in
+  Alcotest.(check int) "image length = flash words" (Program.flash_words p)
+    (Array.length image);
+  let p2 = Encode.decode ~words:image ~symbols:(Program.symbols p) ~procs:(Program.procs p) in
+  Alcotest.(check int) "same instruction count" (Program.length p) (Program.length p2);
+  for i = 0 to Program.length p - 1 do
+    Alcotest.(check bool) (Printf.sprintf "instr %d" i) true
+      (Program.instr p i = Program.instr p2 i)
+  done
+
+let test_decoded_image_runs () =
+  let c = Workloads.compiled Workloads.filter in
+  let p = c.Mote_lang.Compile.program in
+  let image = Encode.encode p in
+  let p2 = Encode.decode ~words:image ~symbols:(Program.symbols p) ~procs:(Program.procs p) in
+  let run program =
+    let devices = Mote_machine.Devices.create () in
+    Mote_machine.Devices.set_sensor devices (fun _ -> 700);
+    let m = Mote_machine.Machine.create ~program ~devices () in
+    ignore (Mote_machine.Machine.run_proc m Mote_lang.Compile.init_proc_name);
+    for _ = 1 to 20 do
+      ignore (Mote_machine.Machine.run_proc m "filter_task")
+    done;
+    Mote_machine.Machine.cycles m
+  in
+  Alcotest.(check int) "identical execution" (run p) (run p2)
+
+let test_encoding_errors () =
+  Alcotest.(check bool) "oversized immediate" true
+    (match Encode.encode_instr (Isa.Movi (0, 100_000)) with
+    | _ -> false
+    | exception Encode.Encoding_error _ -> true);
+  Alcotest.(check bool) "sensor channel cap" true
+    (match Encode.encode_instr (Isa.In (0, Isa.P_sensor 12)) with
+    | _ -> false
+    | exception Encode.Encoding_error _ -> true);
+  Alcotest.(check bool) "truncated stream" true
+    (match Encode.decode_instr [ 0x1000 ] with
+    | _ -> false
+    | exception Encode.Encoding_error _ -> true)
+
+let test_hexdump () =
+  let p = Asm.assemble [ Asm.Proc "f"; Asm.movi 0 5; Asm.ret ] in
+  let dump = Encode.hexdump p in
+  Alcotest.(check bool) "mentions movi" true
+    (String.split_on_char '\n' dump
+    |> List.exists (fun l -> String.length l > 10))
+
+(* --- parser --- *)
+
+let sample_text =
+  {|
+; a little program
+.proc main
+  movi  r0, 5
+loop:
+  subi  r0, r0, 1
+  cmpi  r0, 0
+  br.gt loop
+  ld    r1, [r2+3]
+  st    [r2+3], r1
+  in    r3, sensor[2]
+  in    r4, timer
+  out   leds, r3
+  call  helper
+  ret
+.proc helper
+  add   r1, r2, r3
+  ret
+|}
+
+let test_parse_sample () =
+  let p = Parse.parse_program sample_text in
+  Alcotest.(check int) "two procs" 2 (List.length (Program.procs p));
+  Alcotest.(check (option int)) "loop label" (Some 1) (Program.find_symbol p "loop");
+  match Program.instr p 3 with
+  | Isa.Br (Isa.Gt, 1) -> ()
+  | _ -> Alcotest.fail "branch not parsed"
+
+let test_parse_print_roundtrip () =
+  let items = Parse.parse sample_text in
+  let again = Parse.parse (Parse.to_text items) in
+  Alcotest.(check bool) "items roundtrip" true (items = again)
+
+let test_print_parse_roundtrip_compiled () =
+  (* Every compiled workload's assembly must survive print -> parse. *)
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      let items = c.Mote_lang.Compile.items in
+      let reparsed = Parse.parse (Parse.to_text items) in
+      Alcotest.(check bool) (w.Workloads.name ^ " roundtrips") true (items = reparsed))
+    Workloads.all
+
+let test_parse_errors () =
+  let bad text =
+    match Parse.parse text with
+    | _ -> false
+    | exception Parse.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "unknown mnemonic" true (bad "frobnicate r1");
+  Alcotest.(check bool) "bad register" true (bad "mov r99, r0");
+  Alcotest.(check bool) "bad condition" true (bad "br.zz somewhere");
+  Alcotest.(check bool) "bad operand count" true (bad "movi r0");
+  Alcotest.(check bool) "bad port" true (bad "in r0, nonsense")
+
+let test_parse_error_line_number () =
+  match Parse.parse "nop\nnop\nbogus r1" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parse.Parse_error { line; _ } -> Alcotest.(check int) "line" 3 line
+
+let test_parse_comments_and_blank () =
+  let items = Parse.parse "; nothing\n\n  # also nothing\nnop ; trailing\n" in
+  Alcotest.(check int) "one instruction" 1 (List.length items)
+
+let suite =
+  [
+    Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+    Alcotest.test_case "stream roundtrip" `Quick test_stream_roundtrip;
+    Alcotest.test_case "program image" `Quick test_program_image;
+    Alcotest.test_case "decoded image runs" `Quick test_decoded_image_runs;
+    Alcotest.test_case "encoding errors" `Quick test_encoding_errors;
+    Alcotest.test_case "hexdump" `Quick test_hexdump;
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "parse/print roundtrip" `Quick test_parse_print_roundtrip;
+    Alcotest.test_case "compiled roundtrip" `Quick test_print_parse_roundtrip_compiled;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error line number" `Quick test_parse_error_line_number;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blank;
+  ]
+
+(* Property: encode/decode roundtrips for arbitrary well-formed
+   instructions. *)
+
+let arbitrary_instr =
+  let open QCheck.Gen in
+  let reg = int_range 0 (Isa.num_regs - 1) in
+  let imm = int_range (-32768) 32767 in
+  let addr = int_range 0 4095 in
+  let alu = oneofl [ Isa.Add; Isa.Sub; Isa.Mul; Isa.And; Isa.Or; Isa.Xor; Isa.Shl; Isa.Shr ] in
+  let cond = oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge; Isa.Le; Isa.Gt ] in
+  let port =
+    oneof
+      [
+        return Isa.P_timer; return Isa.P_radio_rx; return Isa.P_leds;
+        map (fun ch -> Isa.P_sensor ch) (int_range 0 7);
+      ]
+  in
+  oneof
+    [
+      return Isa.Nop; return Isa.Halt; return Isa.Ret;
+      map2 (fun a b -> Isa.Mov (a, b)) reg reg;
+      map2 (fun a b -> Isa.Cmp (a, b)) reg reg;
+      map (fun r -> Isa.Push r) reg;
+      map (fun r -> Isa.Pop r) reg;
+      map2 (fun r v -> Isa.Movi (r, v)) reg imm;
+      map2 (fun a v -> Isa.Cmpi (a, v)) reg imm;
+      map3 (fun op d a -> Isa.Alu (op, d, a, 0)) alu reg reg;
+      map3 (fun op d v -> Isa.Alui (op, d, d, v)) alu reg imm;
+      map3 (fun d a o -> Isa.Ld (d, a, o)) reg reg imm;
+      map3 (fun a o s -> Isa.St (a, o, s)) reg imm reg;
+      map2 (fun c t -> Isa.Br (c, t)) cond addr;
+      map (fun t -> Isa.Jmp t) addr;
+      map (fun t -> Isa.Call t) addr;
+      map2 (fun r p -> Isa.In (r, p)) reg port;
+      map2 (fun r p -> Isa.Out (p, r)) reg port;
+    ]
+
+let qcheck_encode_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"encode/decode roundtrip (random instrs)" ~count:500
+       (QCheck.make arbitrary_instr) (fun instr ->
+         match Encode.decode_instr (Encode.encode_instr instr) with
+         | Some (decoded, []) -> decoded = instr
+         | _ -> false))
+
+let suite = suite @ [ qcheck_encode_roundtrip ]

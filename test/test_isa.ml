@@ -1,0 +1,174 @@
+(* Mote_isa.Isa and Asm/Program. *)
+
+module Isa = Mote_isa.Isa
+module Asm = Mote_isa.Asm
+module Program = Mote_isa.Program
+
+let all_conds = [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge; Isa.Le; Isa.Gt ]
+
+let test_negate_involution () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "double negation" true (Isa.negate_cond (Isa.negate_cond c) = c))
+    all_conds
+
+let test_negate_distinct () =
+  List.iter
+    (fun c -> Alcotest.(check bool) "negation differs" true (Isa.negate_cond c <> c))
+    all_conds
+
+let test_terminators () =
+  Alcotest.(check bool) "br" true (Isa.is_terminator (Isa.Br (Isa.Eq, 0)));
+  Alcotest.(check bool) "jmp" true (Isa.is_terminator (Isa.Jmp 0));
+  Alcotest.(check bool) "ret" true (Isa.is_terminator Isa.Ret);
+  Alcotest.(check bool) "halt" true (Isa.is_terminator Isa.Halt);
+  Alcotest.(check bool) "call is not" false (Isa.is_terminator (Isa.Call 0));
+  Alcotest.(check bool) "mov is not" false (Isa.is_terminator (Isa.Mov (0, 1)))
+
+let test_costs_positive () =
+  let instrs =
+    [
+      Isa.Nop; Isa.Halt; Isa.Movi (0, 1); Isa.Mov (0, 1);
+      Isa.Alu (Isa.Add, 0, 1, 2); Isa.Alui (Isa.Mul, 0, 1, 3);
+      Isa.Cmp (0, 1); Isa.Cmpi (0, 5); Isa.Ld (0, 1, 2); Isa.St (0, 1, 2);
+      Isa.Push 0; Isa.Pop 0; Isa.Br (Isa.Eq, 0); Isa.Jmp 0; Isa.Call 0;
+      Isa.Ret; Isa.In (0, Isa.P_timer); Isa.Out (Isa.P_leds, 0);
+    ]
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "cost > 0" true (Isa.base_cost i > 0);
+      Alcotest.(check bool) "size in {1,2}" true (Isa.size i = 1 || Isa.size i = 2))
+    instrs
+
+let test_mul_costs_more () =
+  Alcotest.(check bool) "mul is slower" true
+    (Isa.base_cost (Isa.Alu (Isa.Mul, 0, 1, 2)) > Isa.base_cost (Isa.Alu (Isa.Add, 0, 1, 2)))
+
+let test_map_label () =
+  let i = Isa.Br (Isa.Lt, "foo") in
+  Alcotest.(check bool) "mapped" true (Isa.map_label String.length i = Isa.Br (Isa.Lt, 3));
+  Alcotest.(check bool) "non-control unchanged" true
+    (Isa.map_label String.length (Isa.Movi (1, 5)) = Isa.Movi (1, 5))
+
+let test_label () =
+  Alcotest.(check (option int)) "br" (Some 7) (Isa.label (Isa.Br (Isa.Eq, 7)));
+  Alcotest.(check (option int)) "call" (Some 2) (Isa.label (Isa.Call 2));
+  Alcotest.(check (option int)) "mov" None (Isa.label (Isa.Mov (0, 1)))
+
+let test_to_string () =
+  Alcotest.(check string) "movi" "movi  r3, 42" (Isa.to_string Fun.id (Isa.Movi (3, 42)));
+  Alcotest.(check string) "br" "br.ne loop" (Isa.to_string Fun.id (Isa.Br (Isa.Ne, "loop")))
+
+(* --- assembler --- *)
+
+let simple_program =
+  [
+    Asm.Proc "main";
+    Asm.movi 0 5;
+    Asm.Label "loop";
+    Asm.subi 0 0 1;
+    Asm.cmpi 0 0;
+    Asm.br Isa.Gt "loop";
+    Asm.halt;
+  ]
+
+let test_assemble () =
+  let p = Asm.assemble simple_program in
+  Alcotest.(check int) "length" 5 (Program.length p);
+  Alcotest.(check (option int)) "loop label" (Some 1) (Program.find_symbol p "loop");
+  Alcotest.(check (option int)) "main" (Some 0) (Program.find_symbol p "main");
+  (match Program.instr p 3 with
+  | Isa.Br (Isa.Gt, 1) -> ()
+  | _ -> Alcotest.fail "branch not resolved");
+  match Program.procs p with
+  | [ { Program.name = "main"; entry = 0; finish = 5 } ] -> ()
+  | _ -> Alcotest.fail "procedure extent wrong"
+
+let test_assemble_duplicate_label () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Asm.assemble [ Asm.Proc "a"; Asm.Label "a"; Asm.halt ] with
+    | _ -> false
+    | exception Asm.Error _ -> true)
+
+let test_assemble_unknown_label () =
+  Alcotest.(check bool) "unknown rejected" true
+    (match Asm.assemble [ Asm.Proc "a"; Asm.jmp "nowhere" ] with
+    | _ -> false
+    | exception Asm.Error _ -> true)
+
+let test_assemble_empty_proc () =
+  Alcotest.(check bool) "empty proc rejected" true
+    (match Asm.assemble [ Asm.Proc "a"; Asm.Proc "b"; Asm.halt ] with
+    | _ -> false
+    | exception Asm.Error _ -> true)
+
+let test_two_procs () =
+  let p =
+    Asm.assemble
+      [ Asm.Proc "f"; Asm.call "g"; Asm.ret; Asm.Proc "g"; Asm.movi 0 1; Asm.ret ]
+  in
+  (match Program.find_proc p "g" with
+  | Some { Program.entry = 2; finish = 4; _ } -> ()
+  | _ -> Alcotest.fail "g extent");
+  match Program.proc_at p 3 with
+  | Some { Program.name = "g"; _ } -> ()
+  | _ -> Alcotest.fail "proc_at"
+
+let test_roundtrip () =
+  let p = Asm.assemble simple_program in
+  let p2 = Asm.assemble (Asm.disassemble p) in
+  Alcotest.(check int) "same length" (Program.length p) (Program.length p2);
+  for i = 0 to Program.length p - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "instr %d" i)
+      true
+      (Program.instr p i = Program.instr p2 i)
+  done
+
+let test_flash_words () =
+  let p = Asm.assemble simple_program in
+  (* movi(2) + subi(2) + cmpi(2) + br(2) + halt(1) *)
+  Alcotest.(check int) "flash words" 9 (Program.flash_words p)
+
+let test_program_validation () =
+  Alcotest.(check bool) "out-of-range target rejected" true
+    (match
+       Program.make ~code:[| Isa.Jmp 5 |] ~symbols:[]
+         ~procs:[ { Program.name = "x"; entry = 0; finish = 1 } ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pp_disassembly () =
+  let p = Asm.assemble simple_program in
+  let text = Format.asprintf "%a" Program.pp p in
+  Alcotest.(check bool) "mentions proc main" true (contains ~needle:"proc main" text);
+  Alcotest.(check bool) "mentions loop label" true (contains ~needle:"loop" text);
+  Alcotest.(check bool) "mentions halt" true (contains ~needle:"halt" text)
+
+let suite =
+  [
+    Alcotest.test_case "negate involution" `Quick test_negate_involution;
+    Alcotest.test_case "negate distinct" `Quick test_negate_distinct;
+    Alcotest.test_case "terminators" `Quick test_terminators;
+    Alcotest.test_case "costs positive" `Quick test_costs_positive;
+    Alcotest.test_case "mul costs more" `Quick test_mul_costs_more;
+    Alcotest.test_case "map_label" `Quick test_map_label;
+    Alcotest.test_case "label" `Quick test_label;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "assemble" `Quick test_assemble;
+    Alcotest.test_case "duplicate label" `Quick test_assemble_duplicate_label;
+    Alcotest.test_case "unknown label" `Quick test_assemble_unknown_label;
+    Alcotest.test_case "empty proc" `Quick test_assemble_empty_proc;
+    Alcotest.test_case "two procs" `Quick test_two_procs;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "flash words" `Quick test_flash_words;
+    Alcotest.test_case "program validation" `Quick test_program_validation;
+    Alcotest.test_case "pp disassembly" `Quick test_pp_disassembly;
+  ]

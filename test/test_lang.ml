@@ -1,0 +1,750 @@
+(* Mote_lang: Check and Compile, executed on the machine. *)
+
+open Mote_lang.Ast.Dsl
+module Ast = Mote_lang.Ast
+module Check = Mote_lang.Check
+module Compile = Mote_lang.Compile
+module Machine = Mote_machine.Machine
+module Devices = Mote_machine.Devices
+
+let compile_and_run ?(devices = Devices.create ()) program proc =
+  let c = Compile.compile program in
+  let m = Machine.create ~program:c.Compile.program ~devices () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  ignore (Machine.run_proc m proc);
+  (c, m)
+
+let read_var (c, m) ~proc name = Machine.read_mem m (Compile.var_address c ~proc name)
+
+let prog ?(globals = []) ?(arrays = []) procs = { Ast.globals; arrays; procs }
+
+(* --- semantic checks --- *)
+
+let errors_of p = match Check.program p with Ok () -> [] | Error es -> es
+
+let test_unknown_variable () =
+  let p = prog [ proc "f" ~params:[] ~locals:[] [ set "x" (i 1) ] ] in
+  Alcotest.(check bool) "reported" true (errors_of p <> [])
+
+let test_unknown_procedure () =
+  let p = prog [ proc "f" ~params:[] ~locals:[] [ callp "nope" [] ] ] in
+  Alcotest.(check bool) "reported" true (errors_of p <> [])
+
+let test_arity_mismatch () =
+  let p =
+    prog
+      [
+        proc "g" ~params:[ "a"; "b" ] ~locals:[] [ return (v "a") ];
+        proc "f" ~params:[] ~locals:[] [ callp "g" [ i 1 ] ];
+      ]
+  in
+  Alcotest.(check bool) "reported" true (errors_of p <> [])
+
+let test_recursion_rejected () =
+  let p = prog [ proc "f" ~params:[] ~locals:[] [ callp "f" [] ] ] in
+  Alcotest.(check bool) "self recursion" true (errors_of p <> []);
+  let p2 =
+    prog
+      [
+        proc "f" ~params:[] ~locals:[] [ callp "g" [] ];
+        proc "g" ~params:[] ~locals:[] [ callp "f" [] ];
+      ]
+  in
+  Alcotest.(check bool) "mutual recursion" true (errors_of p2 <> [])
+
+let test_duplicates_rejected () =
+  let p =
+    prog ~globals:[ ("x", 0); ("x", 1) ] [ proc "f" ~params:[] ~locals:[] [] ]
+  in
+  Alcotest.(check bool) "duplicate global" true (errors_of p <> []);
+  let p2 = prog [ proc "f" ~params:[ "a" ] ~locals:[ "a" ] [] ] in
+  Alcotest.(check bool) "param/local clash" true (errors_of p2 <> [])
+
+let test_valid_program_accepted () =
+  let p =
+    prog ~globals:[ ("g", 3) ]
+      [
+        proc "helper" ~params:[ "x" ] ~locals:[] [ return (v "x" +: v "g") ];
+        proc "f" ~params:[] ~locals:[ "y" ] [ set "y" (fn "helper" [ i 2 ]) ];
+      ]
+  in
+  Alcotest.(check bool) "accepted" true (errors_of p = [])
+
+(* --- compilation and execution --- *)
+
+let test_globals_initialized () =
+  let p = prog ~globals:[ ("a", 42); ("b", -7) ] [ proc "f" ~params:[] ~locals:[] [] ] in
+  let r = compile_and_run p "f" in
+  Alcotest.(check int) "a" 42 (read_var r ~proc:"f" "a");
+  Alcotest.(check int) "b" (-7) (read_var r ~proc:"f" "b")
+
+let test_arithmetic_expressions () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "t" ]
+          [
+            set "t" (((i 3 +: i 4) *: i 5) -: (i 20 >>: i 2));
+            set "out" (v "t");
+          ];
+      ]
+  in
+  Alcotest.(check int) "35 - 5" 30 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_relational_values () =
+  let p =
+    prog ~globals:[ ("a", 0); ("b", 0); ("c", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[]
+          [
+            set "a" (i 3 <: i 5);
+            set "b" (i 5 <: i 3);
+            set "c" ((i 2 =: i 2) +: (i 1 <>: i 1));
+          ];
+      ]
+  in
+  let r = compile_and_run p "f" in
+  Alcotest.(check int) "3<5" 1 (read_var r ~proc:"f" "a");
+  Alcotest.(check int) "5<3" 0 (read_var r ~proc:"f" "b");
+  Alcotest.(check int) "1+0" 1 (read_var r ~proc:"f" "c")
+
+let test_if_else () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[ "x" ] ~locals:[]
+          [ if_ (v "x" >: i 10) [ set "out" (i 1) ] [ set "out" (i 2) ] ];
+      ]
+  in
+  let c = Compile.compile p in
+  let m = Machine.create ~program:c.Compile.program ~devices:(Devices.create ()) () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  let run_with x =
+    Machine.write_mem m (Compile.var_address c ~proc:"f" "x") x;
+    ignore (Machine.run_proc m "f");
+    Machine.read_mem m (Compile.var_address c ~proc:"f" "out")
+  in
+  Alcotest.(check int) "then" 1 (run_with 11);
+  Alcotest.(check int) "else" 2 (run_with 10)
+
+let test_while_loop () =
+  (* Sum 1..10 = 55. *)
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "k"; "acc" ]
+          [
+            set "k" (i 1);
+            set "acc" (i 0);
+            while_ (v "k" <=: i 10)
+              [ set "acc" (v "acc" +: v "k"); set "k" (v "k" +: i 1) ];
+            set "out" (v "acc");
+          ];
+      ]
+  in
+  Alcotest.(check int) "sum" 55 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_nested_loops () =
+  (* 4 * 3 iterations. *)
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "a"; "b" ]
+          [
+            set "a" (i 0);
+            while_ (v "a" <: i 4)
+              [
+                set "b" (i 0);
+                while_ (v "b" <: i 3)
+                  [ set "out" (v "out" +: i 1); set "b" (v "b" +: i 1) ];
+                set "a" (v "a" +: i 1);
+              ];
+          ];
+      ]
+  in
+  Alcotest.(check int) "12 iterations" 12 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_function_call_with_args () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "add3" ~params:[ "a"; "b"; "c" ] ~locals:[] [ return ((v "a" +: v "b") +: v "c") ];
+        proc "f" ~params:[] ~locals:[] [ set "out" (fn "add3" [ i 10; i 20; i 30 ]) ];
+      ]
+  in
+  Alcotest.(check int) "sum of args" 60 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_nested_calls_in_expression () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "double" ~params:[ "x" ] ~locals:[] [ return (v "x" +: v "x") ];
+        proc "f" ~params:[] ~locals:[]
+          [ set "out" (fn "double" [ fn "double" [ i 3 ] ] +: fn "double" [ i 1 ]) ];
+      ]
+  in
+  Alcotest.(check int) "12 + 2" 14 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_early_return () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "sign" ~params:[ "x" ] ~locals:[]
+          [
+            when_ (v "x" <: i 0) [ return (i (-1)) ];
+            when_ (v "x" >: i 0) [ return (i 1) ];
+            return (i 0);
+          ];
+        proc "f" ~params:[] ~locals:[]
+          [ set "out" ((fn "sign" [ i (-5) ] *: i 100) +: (fn "sign" [ i 7 ] *: i 10) +: fn "sign" [ i 0 ]) ];
+      ]
+  in
+  Alcotest.(check int) "-100 + 10 + 0" (-90) (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_short_circuit_and_or () =
+  (* g bumps a counter; short-circuit must avoid the second call. *)
+  let p =
+    prog ~globals:[ ("calls", 0); ("out", 0) ]
+      [
+        proc "bump" ~params:[] ~locals:[]
+          [ set "calls" (v "calls" +: i 1); return (i 1) ];
+        proc "f" ~params:[] ~locals:[]
+          [
+            if_ ((i 0 <>: i 0) &&: (fn "bump" [] =: i 1)) [ set "out" (i 1) ] [];
+            if_ ((i 1 =: i 1) ||: (fn "bump" [] =: i 1)) [ set "out" (v "out" +: i 2) ] [];
+          ];
+      ]
+  in
+  let r = compile_and_run p "f" in
+  Alcotest.(check int) "no calls happened" 0 (read_var r ~proc:"f" "calls");
+  Alcotest.(check int) "or branch ran" 2 (read_var r ~proc:"f" "out")
+
+let test_not_and_bool_materialization () =
+  let p =
+    prog ~globals:[ ("a", 0); ("b", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[]
+          [
+            set "a" (not_ (i 0));
+            set "b" ((i 1 =: i 1) &&: (i 2 <: i 3));
+          ];
+      ]
+  in
+  let r = compile_and_run p "f" in
+  Alcotest.(check int) "not 0" 1 (read_var r ~proc:"f" "a");
+  Alcotest.(check int) "true && true" 1 (read_var r ~proc:"f" "b")
+
+let test_sensor_and_devices () =
+  let devices = Devices.create () in
+  Devices.set_sensor devices (fun ch -> 500 + ch);
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[]
+          [ set "out" (sensor 2); send (v "out"); led (i 5) ];
+      ]
+  in
+  let r = compile_and_run ~devices p "f" in
+  Alcotest.(check int) "sensor value" 502 (read_var r ~proc:"f" "out");
+  Alcotest.(check (list int)) "transmitted" [ 502 ] (Devices.tx_log devices);
+  Alcotest.(check int) "led" 5 (Devices.leds devices)
+
+let test_radio_rx_expression () =
+  let devices = Devices.create () in
+  Devices.radio_push_rx devices 99;
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [ proc "f" ~params:[] ~locals:[] [ set "out" radio_rx ] ]
+  in
+  Alcotest.(check int) "rx" 99 (read_var (compile_and_run ~devices p "f") ~proc:"f" "out")
+
+let test_globals_shared_between_procs () =
+  let p =
+    prog ~globals:[ ("g", 0) ]
+      [
+        proc "writer" ~params:[] ~locals:[] [ set "g" (i 5) ];
+        proc "f" ~params:[] ~locals:[] [ callp "writer" []; set "g" (v "g" +: i 1) ];
+      ]
+  in
+  Alcotest.(check int) "shared" 6 (read_var (compile_and_run p "f") ~proc:"f" "g")
+
+let test_branch_polarity_convention () =
+  (* The hot arm of an if must be the fall-through in natural layout:
+     compile `if c then A else B` and check the entry's taken target is B
+     (the else arm). *)
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[]
+          [ if_ (i 1 =: i 1) [ set "out" (i 1) ] [ set "out" (i 2) ] ];
+      ]
+  in
+  let c = Compile.compile p in
+  let cfg = Cfgir.Cfg.of_proc_name c.Compile.program "f" in
+  match (Cfgir.Cfg.block cfg 0).Cfgir.Cfg.term with
+  | Cfgir.Cfg.T_branch (Mote_isa.Isa.Ne, _, fall) ->
+      (* Fall block is the then-arm: it assigns 1. *)
+      Alcotest.(check int) "fall is next block" 1 fall
+  | _ -> Alcotest.fail "expected negated-condition branch"
+
+let test_deep_expression_rejected () =
+  let rec deep n = if n = 0 then i 1 else Ast.Bin (Ast.Add, deep (n - 1), deep (n - 1)) in
+  let p = prog [ proc "f" ~params:[] ~locals:[] [ set "x" (deep 14) ] ] in
+  ignore p;
+  (* Unknown var x AND register overflow are both possible: build valid one. *)
+  let p2 =
+    prog ~globals:[ ("x", 0) ] [ proc "f" ~params:[] ~locals:[] [ set "x" (deep 14) ] ]
+  in
+  Alcotest.(check bool) "register overflow rejected" true
+    (match Compile.compile p2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_var_address_lookup () =
+  let p =
+    prog ~globals:[ ("g", 1) ]
+      [ proc "f" ~params:[ "p" ] ~locals:[ "l" ] [ set "l" (v "p" +: v "g") ] ]
+  in
+  let c = Compile.compile p in
+  let addr_g = Compile.var_address c ~proc:"f" "g" in
+  let addr_p = Compile.var_address c ~proc:"f" "p" in
+  Alcotest.(check bool) "distinct addresses" true (addr_g <> addr_p);
+  Alcotest.(check bool) "missing raises" true
+    (match Compile.var_address c ~proc:"f" "zzz" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let test_array_read_write () =
+  let p =
+    prog ~globals:[ ("out", 0) ] ~arrays:[ ("buf", 4) ]
+      [
+        proc "f" ~params:[] ~locals:[ "k" ]
+          [
+            set "k" (i 0);
+            while_ (v "k" <: i 4)
+              [ set_at "buf" (v "k") (v "k" *: i 10); set "k" (v "k" +: i 1) ];
+            set "out" (at "buf" (i 2) +: at "buf" (i 3));
+          ];
+      ]
+  in
+  Alcotest.(check int) "20 + 30" 50 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_array_zeroed_at_boot () =
+  let p =
+    prog ~globals:[ ("out", 0) ] ~arrays:[ ("buf", 8) ]
+      [ proc "f" ~params:[] ~locals:[] [ set "out" (at "buf" (i 5) +: i 7) ] ]
+  in
+  Alcotest.(check int) "reads zero" 7 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_array_checks () =
+  let unknown =
+    prog [ proc "f" ~params:[] ~locals:[ "x" ] [ set "x" (at "nope" (i 0)) ] ]
+  in
+  Alcotest.(check bool) "unknown array" true (errors_of unknown <> []);
+  let bad_size =
+    prog ~arrays:[ ("b", 0) ] [ proc "f" ~params:[] ~locals:[] [] ]
+  in
+  Alcotest.(check bool) "zero size" true (errors_of bad_size <> []);
+  let clash =
+    prog ~globals:[ ("b", 0) ] ~arrays:[ ("b", 4) ] [ proc "f" ~params:[] ~locals:[] [] ]
+  in
+  Alcotest.(check bool) "global/array clash" true (errors_of clash <> [])
+
+let test_array_address () =
+  let p =
+    prog ~globals:[ ("g", 0) ] ~arrays:[ ("b", 4); ("c", 2) ]
+      [ proc "f" ~params:[] ~locals:[] [ set_at "c" (i 1) (i 5) ] ]
+  in
+  let c = Compile.compile p in
+  let b = Compile.array_address c "b" in
+  let cc = Compile.array_address c "c" in
+  Alcotest.(check int) "arrays are adjacent" (b + 4) cc;
+  let m = Machine.create ~program:c.Compile.program ~devices:(Devices.create ()) () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  ignore (Machine.run_proc m "f");
+  Alcotest.(check int) "write landed" 5 (Machine.read_mem m (cc + 1))
+
+let test_pp_program () =
+  let text = Format.asprintf "%a" Ast.pp_program Workloads.sense.Workloads.program in
+  Alcotest.(check bool) "renders" true (String.length text > 100)
+
+let suite =
+  [
+    Alcotest.test_case "unknown variable" `Quick test_unknown_variable;
+    Alcotest.test_case "unknown procedure" `Quick test_unknown_procedure;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+    Alcotest.test_case "recursion rejected" `Quick test_recursion_rejected;
+    Alcotest.test_case "duplicates rejected" `Quick test_duplicates_rejected;
+    Alcotest.test_case "valid accepted" `Quick test_valid_program_accepted;
+    Alcotest.test_case "globals initialized" `Quick test_globals_initialized;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic_expressions;
+    Alcotest.test_case "relational values" `Quick test_relational_values;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "while loop" `Quick test_while_loop;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "function call" `Quick test_function_call_with_args;
+    Alcotest.test_case "nested calls" `Quick test_nested_calls_in_expression;
+    Alcotest.test_case "early return" `Quick test_early_return;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit_and_or;
+    Alcotest.test_case "not/materialization" `Quick test_not_and_bool_materialization;
+    Alcotest.test_case "sensor and devices" `Quick test_sensor_and_devices;
+    Alcotest.test_case "radio rx" `Quick test_radio_rx_expression;
+    Alcotest.test_case "globals shared" `Quick test_globals_shared_between_procs;
+    Alcotest.test_case "branch polarity" `Quick test_branch_polarity_convention;
+    Alcotest.test_case "deep expression" `Quick test_deep_expression_rejected;
+    Alcotest.test_case "var address" `Quick test_var_address_lookup;
+    Alcotest.test_case "array read/write" `Quick test_array_read_write;
+    Alcotest.test_case "array zeroed" `Quick test_array_zeroed_at_boot;
+    Alcotest.test_case "array checks" `Quick test_array_checks;
+    Alcotest.test_case "array address" `Quick test_array_address;
+    Alcotest.test_case "pp program" `Quick test_pp_program;
+  ]
+
+(* --- compiler hardening: nesting, boolean algebra, boundary cases --- *)
+
+let test_deep_if_chain () =
+  (* Classify into 5 buckets with a chain of else-ifs. *)
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [ proc "f" ~params:[ "x" ] ~locals:[]
+          [ if_ (v "x" <: i 100) [ set "out" (i 1) ]
+              [ if_ (v "x" <: i 200) [ set "out" (i 2) ]
+                  [ if_ (v "x" <: i 300) [ set "out" (i 3) ]
+                      [ if_ (v "x" <: i 400) [ set "out" (i 4) ] [ set "out" (i 5) ] ] ] ] ] ]
+  in
+  let c = Compile.compile p in
+  let m = Machine.create ~program:c.Compile.program ~devices:(Devices.create ()) () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  let bucket x =
+    Machine.write_mem m (Compile.var_address c ~proc:"f" "x") x;
+    ignore (Machine.run_proc m "f");
+    Machine.read_mem m (Compile.var_address c ~proc:"f" "out")
+  in
+  List.iter2
+    (fun x expected -> Alcotest.(check int) (Printf.sprintf "x=%d" x) expected (bucket x))
+    [ 50; 150; 250; 350; 450 ] [ 1; 2; 3; 4; 5 ]
+
+let test_de_morgan () =
+  (* !(a && b) must equal (!a || !b) for all four truth combinations. *)
+  let p =
+    prog ~globals:[ ("lhs", 0); ("rhs", 0) ]
+      [
+        proc "f" ~params:[ "a"; "b" ] ~locals:[]
+          [
+            set "lhs" (not_ ((v "a" =: i 1) &&: (v "b" =: i 1)));
+            set "rhs" (not_ (v "a" =: i 1) ||: not_ (v "b" =: i 1));
+          ];
+      ]
+  in
+  let c = Compile.compile p in
+  let m = Machine.create ~program:c.Compile.program ~devices:(Devices.create ()) () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  List.iter
+    (fun (a, b) ->
+      Machine.write_mem m (Compile.var_address c ~proc:"f" "a") a;
+      Machine.write_mem m (Compile.var_address c ~proc:"f" "b") b;
+      ignore (Machine.run_proc m "f");
+      Alcotest.(check int)
+        (Printf.sprintf "a=%d b=%d" a b)
+        (Machine.read_mem m (Compile.var_address c ~proc:"f" "lhs"))
+        (Machine.read_mem m (Compile.var_address c ~proc:"f" "rhs")))
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+
+let test_while_with_compound_condition () =
+  (* while (k < 10 && acc < 30): stops when acc reaches 30 at k=... *)
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "k"; "acc" ]
+          [
+            set "k" (i 0);
+            set "acc" (i 0);
+            while_ ((v "k" <: i 10) &&: (v "acc" <: i 30))
+              [ set "acc" (v "acc" +: i 7); set "k" (v "k" +: i 1) ];
+            set "out" (v "acc");
+          ];
+      ]
+  in
+  (* 7,14,21,28,35: the 5th iteration runs because 28 < 30. *)
+  Alcotest.(check int) "compound loop" 35 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_while_zero_iterations () =
+  let p =
+    prog ~globals:[ ("out", 5) ]
+      [
+        proc "f" ~params:[] ~locals:[]
+          [ while_ (i 0 =: i 1) [ set "out" (i 99) ] ];
+      ]
+  in
+  Alcotest.(check int) "body never runs" 5 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_condition_with_call () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "limit" ~params:[ "x" ] ~locals:[]
+          [ when_ (v "x" >: i 9) [ return (i 9) ]; return (v "x") ];
+        proc "f" ~params:[] ~locals:[ "k" ]
+          [
+            set "k" (i 0);
+            while_ (fn "limit" [ v "k" ] <: i 9)
+              [ set "k" (v "k" +: i 2) ];
+            set "out" (v "k");
+          ];
+      ]
+  in
+  (* k: 0,2,4,6,8,10 -> limit(10)=9, not < 9, stop. *)
+  Alcotest.(check int) "call inside condition" 10
+    (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_expression_at_register_boundary () =
+  (* A right-leaning chain 11 deep: uses exactly the register budget. *)
+  let rec chain n = if n = 0 then i 1 else Ast.Bin (Ast.Add, i 1, chain (n - 1)) in
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [ proc "f" ~params:[] ~locals:[] [ set "out" (chain 11) ] ]
+  in
+  Alcotest.(check int) "depth-11 expression" 12
+    (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_negative_arithmetic () =
+  let p =
+    prog ~globals:[ ("a", 0); ("b", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[]
+          [
+            set "a" (i (-5) *: i 3);
+            set "b" ((i 0 -: i 1) >: i (-2));
+          ];
+      ]
+  in
+  let r = compile_and_run p "f" in
+  Alcotest.(check int) "negative multiply" (-15) (read_var r ~proc:"f" "a");
+  Alcotest.(check int) "-1 > -2" 1 (read_var r ~proc:"f" "b")
+
+let test_params_are_frame_local () =
+  (* Two procedures with identically-named params must not alias. *)
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "g" ~params:[ "x" ] ~locals:[] [ return (v "x" *: i 2) ];
+        proc "h" ~params:[ "x" ] ~locals:[] [ return (fn "g" [ i 5 ] +: v "x") ];
+        proc "f" ~params:[] ~locals:[] [ set "out" (fn "h" [ i 100 ]) ];
+      ]
+  in
+  (* h's x=100 must survive g's x=5: 10 + 100. *)
+  Alcotest.(check int) "frames don't alias" 110
+    (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "deep if chain" `Quick test_deep_if_chain;
+      Alcotest.test_case "de morgan" `Quick test_de_morgan;
+      Alcotest.test_case "compound while" `Quick test_while_with_compound_condition;
+      Alcotest.test_case "zero-iteration while" `Quick test_while_zero_iterations;
+      Alcotest.test_case "call in condition" `Quick test_condition_with_call;
+      Alcotest.test_case "register boundary" `Quick test_expression_at_register_boundary;
+      Alcotest.test_case "negative arithmetic" `Quick test_negative_arithmetic;
+      Alcotest.test_case "frame locality" `Quick test_params_are_frame_local;
+    ]
+
+(* --- Optimize: constant folding and branch pruning --- *)
+
+module Opt = Mote_lang.Optimize
+
+let test_fold_arithmetic () =
+  Alcotest.(check bool) "folds" true (Opt.expr ((i 3 +: i 4) *: i 5) = i 35);
+  Alcotest.(check bool) "wraps like the machine" true
+    (Opt.expr (i 32767 +: i 1) = i (-32768));
+  Alcotest.(check bool) "identity add" true (Opt.expr (v "x" +: i 0) = v "x");
+  Alcotest.(check bool) "identity mul" true (Opt.expr (i 1 *: v "x") = v "x");
+  Alcotest.(check bool) "folds relations" true (Opt.expr (i 3 <: i 5) = i 1)
+
+let test_fold_short_circuit_safety () =
+  (* 0 && sensor() legitimately drops the read (never evaluated)... *)
+  Alcotest.(check bool) "false && effect drops" true
+    (Opt.expr (Ast.And (i 0, sensor 0)) = i 0);
+  (* ...but effect && 0 must keep the effect. *)
+  Alcotest.(check bool) "effect && false kept" true
+    (Opt.has_effects (Opt.expr (Ast.And (sensor 0, i 0))))
+
+let test_no_double_negation_rule () =
+  (* !!5 is 1, not 5. *)
+  let folded = Opt.expr (not_ (not_ (i 5))) in
+  Alcotest.(check bool) "normalizes to 1" true (folded = i 1);
+  let open_form = Opt.expr (not_ (not_ (v "x"))) in
+  Alcotest.(check bool) "kept symbolic" true (open_form = not_ (not_ (v "x")))
+
+let test_prune_branches () =
+  let pruned = Opt.stmt (if_ (i 1 =: i 1) [ set "a" (i 1) ] [ set "a" (i 2) ]) in
+  Alcotest.(check bool) "then arm inlined" true (pruned = [ set "a" (i 1) ]);
+  let gone = Opt.stmt (while_ (i 0 >: i 1) [ set "a" (i 9) ]) in
+  Alcotest.(check bool) "dead loop removed" true (gone = [])
+
+let test_optimize_shrinks_and_preserves () =
+  (* A program with constant-foldable control flow: optimized and
+     unoptimized binaries must behave identically, and the optimized CFG
+     must have fewer branches. *)
+  let source =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "x" ]
+          [
+            set "x" (sensor 0);
+            if_ (i 2 >: i 1)
+              [ set "out" (v "out" +: (v "x" *: (i 2 +: i 2))) ]
+              [ set "out" (i 999) ];
+            while_ (i 0 <>: i 0) [ set "out" (i 777) ];
+            when_ (v "x" >: i 500) [ send (v "x") ];
+          ];
+      ]
+  in
+  let optimized = Opt.program source in
+  let run p =
+    let devices = Devices.create () in
+    let seq = ref 0 in
+    Devices.set_sensor devices (fun _ -> incr seq; !seq * 211 mod 1024);
+    let c = Compile.compile p in
+    let m = Machine.create ~program:c.Compile.program ~devices () in
+    ignore (Machine.run_proc m Compile.init_proc_name);
+    for _ = 1 to 50 do
+      ignore (Machine.run_proc m "f")
+    done;
+    ( Machine.read_mem m (Compile.var_address c ~proc:"f" "out"),
+      Devices.tx_log devices,
+      Cfgir.Cfg.static_cond_branches (Cfgir.Cfg.of_proc_name c.Compile.program "f") )
+  in
+  let out_a, tx_a, branches_a = run source in
+  let out_b, tx_b, branches_b = run optimized in
+  Alcotest.(check int) "same result" out_a out_b;
+  Alcotest.(check bool) "same transmissions" true (tx_a = tx_b);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer branches (%d -> %d)" branches_a branches_b)
+    true (branches_b < branches_a)
+
+let test_optimize_generated_programs_preserved () =
+  (* Property over random programs: optimization never changes behaviour. *)
+  List.iter
+    (fun seed ->
+      let config = { Workloads.Generator.default_config with Workloads.Generator.seed } in
+      let source = Workloads.Generator.generate ~config () in
+      let optimized = Opt.program source in
+      let run p =
+        let devices = Devices.create () in
+        let env = Env.create (Workloads.Generator.env_config ~seed) in
+        Env.attach env devices;
+        let c = Compile.compile p in
+        let m = Machine.create ~program:c.Compile.program ~devices () in
+        ignore (Machine.run_proc m Compile.init_proc_name);
+        for _ = 1 to 80 do
+          ignore (Machine.run_proc m "gen_task")
+        done;
+        ( Machine.read_mem m (Compile.var_address c ~proc:"gen_task" "out"),
+          Devices.tx_log devices )
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d preserved" seed)
+        true
+        (run source = run optimized))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "fold arithmetic" `Quick test_fold_arithmetic;
+      Alcotest.test_case "short-circuit safety" `Quick test_fold_short_circuit_safety;
+      Alcotest.test_case "no double negation" `Quick test_no_double_negation_rule;
+      Alcotest.test_case "prune branches" `Quick test_prune_branches;
+      Alcotest.test_case "optimize shrinks+preserves" `Quick test_optimize_shrinks_and_preserves;
+      Alcotest.test_case "optimize random programs" `Quick
+        test_optimize_generated_programs_preserved;
+    ]
+
+(* --- break --- *)
+
+let test_break_exits_loop () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "k" ]
+          [
+            set "k" (i 0);
+            while_ (v "k" <: i 100)
+              [
+                when_ (v "k" =: i 7) [ break_ ];
+                set "k" (v "k" +: i 1);
+              ];
+            set "out" (v "k");
+          ];
+      ]
+  in
+  Alcotest.(check int) "stopped at 7" 7 (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_break_innermost_only () =
+  let p =
+    prog ~globals:[ ("out", 0) ]
+      [
+        proc "f" ~params:[] ~locals:[ "a"; "b" ]
+          [
+            set "a" (i 0);
+            while_ (v "a" <: i 3)
+              [
+                set "b" (i 0);
+                while_ (v "b" <: i 100)
+                  [ when_ (v "b" =: i 2) [ break_ ]; set "b" (v "b" +: i 1) ];
+                set "out" (v "out" +: v "b");
+                set "a" (v "a" +: i 1);
+              ];
+          ];
+      ]
+  in
+  (* Inner loop always breaks at b=2; outer runs 3 times: 6. *)
+  Alcotest.(check int) "outer loop survives" 6
+    (read_var (compile_and_run p "f") ~proc:"f" "out")
+
+let test_break_outside_loop_rejected () =
+  let p = prog [ proc "f" ~params:[] ~locals:[] [ break_ ] ] in
+  Alcotest.(check bool) "rejected" true (errors_of p <> []);
+  let p2 =
+    prog [ proc "f" ~params:[] ~locals:[] [ when_ (i 1 =: i 1) [ break_ ] ] ]
+  in
+  Alcotest.(check bool) "rejected inside if" true (errors_of p2 <> [])
+
+let test_break_search_idiom () =
+  (* Linear search over an array with early exit — the dup-cache idiom. *)
+  let p =
+    prog ~globals:[ ("found", 0) ] ~arrays:[ ("t", 8) ]
+      [
+        proc "f" ~params:[ "needle" ] ~locals:[ "k" ]
+          [
+            set_at "t" (i 3) (i 42);
+            set "found" (i (-1));
+            set "k" (i 0);
+            while_ (v "k" <: i 8)
+              [
+                when_ (at "t" (v "k") =: v "needle") [ set "found" (v "k"); break_ ];
+                set "k" (v "k" +: i 1);
+              ];
+          ];
+      ]
+  in
+  let c = Compile.compile p in
+  let m = Machine.create ~program:c.Compile.program ~devices:(Devices.create ()) () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  let search needle =
+    Machine.write_mem m (Compile.var_address c ~proc:"f" "needle") needle;
+    ignore (Machine.run_proc m "f");
+    Machine.read_mem m (Compile.var_address c ~proc:"f" "found")
+  in
+  Alcotest.(check int) "hit" 3 (search 42);
+  Alcotest.(check int) "miss" (-1) (search 99)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "break exits loop" `Quick test_break_exits_loop;
+      Alcotest.test_case "break innermost only" `Quick test_break_innermost_only;
+      Alcotest.test_case "break outside loop" `Quick test_break_outside_loop_rejected;
+      Alcotest.test_case "break search idiom" `Quick test_break_search_idiom;
+    ]

@@ -1,0 +1,141 @@
+(* Linalg: Matrix, Solve, Simplex. *)
+
+module M = Linalg.Matrix
+
+let feq ?(tol = 1e-9) name a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %f vs %f" name a b) true (abs_float (a -. b) < tol)
+
+let test_identity_mul () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "I*a = a" true (M.equal (M.mul (M.identity 2) a) a);
+  Alcotest.(check bool) "a*I = a" true (M.equal (M.mul a (M.identity 2)) a)
+
+let test_mul_known () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = M.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let expected = M.of_rows [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |] in
+  Alcotest.(check bool) "known product" true (M.equal (M.mul a b) expected)
+
+let test_transpose () =
+  let a = M.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let t = M.transpose a in
+  Alcotest.(check int) "rows" 3 (M.rows t);
+  Alcotest.(check int) "cols" 2 (M.cols t);
+  feq "entry" 6.0 (M.get t 2 1);
+  Alcotest.(check bool) "double transpose" true (M.equal (M.transpose t) a)
+
+let test_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_rows: ragged rows") (fun () ->
+      ignore (M.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_mat_vec () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (array (float 1e-9))) "mat_vec" [| 5.0; 11.0 |] (M.mat_vec a [| 1.0; 2.0 |]);
+  Alcotest.(check (array (float 1e-9))) "vec_mat" [| 7.0; 10.0 |] (M.vec_mat [| 1.0; 2.0 |] a)
+
+let test_lu_solve () =
+  let a = M.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linalg.Solve.lu_solve a [| 5.0; 10.0 |] in
+  Alcotest.(check (array (float 1e-9))) "solution" [| 1.0; 3.0 |] x
+
+let test_lu_solve_pivoting () =
+  (* First pivot is zero: requires row exchange. *)
+  let a = M.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linalg.Solve.lu_solve a [| 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9))) "swap solution" [| 3.0; 2.0 |] x
+
+let test_singular () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" Linalg.Solve.Singular (fun () ->
+      ignore (Linalg.Solve.lu_solve a [| 1.0; 1.0 |]))
+
+let test_inverse () =
+  let a = M.of_rows [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Linalg.Solve.inverse a in
+  Alcotest.(check bool) "a * a^-1 = I" true (M.equal ~eps:1e-9 (M.mul a inv) (M.identity 2))
+
+let test_determinant () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  feq "det" (-2.0) (Linalg.Solve.determinant a);
+  let s = M.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  feq "singular det" 0.0 (Linalg.Solve.determinant s)
+
+let test_least_squares () =
+  (* Fit y = 2x + 1 through exact points: residual 0. *)
+  let a = M.of_rows [| [| 1.0; 1.0 |]; [| 2.0; 1.0 |]; [| 3.0; 1.0 |] |] in
+  let b = [| 3.0; 5.0; 7.0 |] in
+  let x = Linalg.Solve.least_squares a b in
+  feq ~tol:1e-4 "slope" 2.0 x.(0);
+  feq ~tol:1e-4 "intercept" 1.0 x.(1)
+
+let test_simplex_project () =
+  let p = Linalg.Simplex.project [| 0.5; 0.5 |] in
+  Alcotest.(check (array (float 1e-9))) "already on simplex" [| 0.5; 0.5 |] p;
+  let q = Linalg.Simplex.project [| 2.0; 0.0 |] in
+  Alcotest.(check (array (float 1e-9))) "projected" [| 1.0; 0.0 |] q
+
+let test_simplex_properties () =
+  let v = [| -1.0; 3.0; 0.2; 0.4 |] in
+  let p = Linalg.Simplex.project v in
+  let sum = Array.fold_left ( +. ) 0.0 p in
+  feq ~tol:1e-9 "sums to 1" 1.0 sum;
+  Array.iter (fun x -> Alcotest.(check bool) "nonneg" true (x >= 0.0)) p
+
+let test_normalize () =
+  Alcotest.(check (array (float 1e-9))) "normalize" [| 0.25; 0.75 |]
+    (Linalg.Simplex.normalize [| 1.0; 3.0 |]);
+  Alcotest.(check (array (float 1e-9))) "all zero -> uniform" [| 0.5; 0.5 |]
+    (Linalg.Simplex.normalize [| 0.0; 0.0 |])
+
+let test_clamp () =
+  feq "low" 1e-6 (Linalg.Simplex.clamp (-0.5));
+  feq "high" (1.0 -. 1e-6) (Linalg.Simplex.clamp 2.0);
+  feq "mid" 0.4 (Linalg.Simplex.clamp 0.4)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"simplex projection valid" ~count:300
+         QCheck.(list_of_size (Gen.int_range 1 10) (float_range (-5.0) 5.0))
+         (fun xs ->
+           let p = Linalg.Simplex.project (Array.of_list xs) in
+           let sum = Array.fold_left ( +. ) 0.0 p in
+           abs_float (sum -. 1.0) < 1e-6 && Array.for_all (fun x -> x >= -1e-12) p));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"solve then multiply recovers rhs" ~count:100
+         QCheck.(list_of_size (Gen.return 4) (float_range (-3.0) 3.0))
+         (fun xs ->
+           let a =
+             M.of_rows
+               [|
+                 [| 4.0 +. List.nth xs 0; List.nth xs 1 |];
+                 [| List.nth xs 2; 4.0 +. List.nth xs 3 |];
+               |]
+           in
+           let b = [| 1.0; 2.0 |] in
+           match Linalg.Solve.lu_solve a b with
+           | x ->
+               let back = M.mat_vec a x in
+               abs_float (back.(0) -. 1.0) < 1e-6 && abs_float (back.(1) -. 2.0) < 1e-6
+           | exception Linalg.Solve.Singular -> true));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "identity mul" `Quick test_identity_mul;
+    Alcotest.test_case "mul known" `Quick test_mul_known;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+    Alcotest.test_case "mat_vec" `Quick test_mat_vec;
+    Alcotest.test_case "lu solve" `Quick test_lu_solve;
+    Alcotest.test_case "lu pivoting" `Quick test_lu_solve_pivoting;
+    Alcotest.test_case "singular" `Quick test_singular;
+    Alcotest.test_case "inverse" `Quick test_inverse;
+    Alcotest.test_case "determinant" `Quick test_determinant;
+    Alcotest.test_case "least squares" `Quick test_least_squares;
+    Alcotest.test_case "simplex project" `Quick test_simplex_project;
+    Alcotest.test_case "simplex properties" `Quick test_simplex_properties;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,187 @@
+(* Codetomo.Pipeline: the end-to-end integration tests.  These use a
+   shortened horizon to stay fast while keeping enough samples for the
+   estimators. *)
+
+module P = Codetomo.Pipeline
+module Node = Mote_os.Node
+
+let config = { P.default_config with P.horizon = Some 600_000 }
+
+(* Profile runs are expensive; share one per workload across tests. *)
+let runs =
+  lazy
+    (List.map (fun w -> (w.Workloads.name, P.profile ~config w)) Workloads.all)
+
+let run_of name = List.assoc name (Lazy.force runs)
+
+let test_profile_produces_samples () =
+  List.iter
+    (fun (name, run) ->
+      List.iter
+        (fun (proc, samples) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s has samples" name proc)
+            true
+            (Array.length samples > 10))
+        run.P.samples)
+    (Lazy.force runs)
+
+let test_invocations_match_samples () =
+  List.iter
+    (fun (_, run) ->
+      List.iter
+        (fun (proc, samples) ->
+          Alcotest.(check int) proc
+            (List.assoc proc run.P.invocations)
+            (Array.length samples))
+        run.P.samples)
+    (Lazy.force runs)
+
+let test_samples_at_least_lower_bound () =
+  (* Every exclusive sample must be at least the cheapest path cost through
+     its (instrumented) procedure, minus the window correction. *)
+  List.iter
+    (fun (name, run) ->
+      List.iter
+        (fun (proc, samples) ->
+          let model = P.model_of run proc in
+          let paths = Tomo.Paths.enumerate ~max_paths:20000 ~max_visits:16 model in
+          let min_cost = Tomo.Paths.min_cost paths in
+          Array.iter
+            (fun s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s sample %.0f >= %.0f" name proc s min_cost)
+                true
+                (s >= min_cost -. 1.0))
+            samples)
+        run.P.samples)
+    (Lazy.force runs)
+
+let test_estimation_accuracy_em () =
+  (* With exact timers the EM estimates should be very close to ground
+     truth wherever paths are cost-distinguishable; we assert the
+     suite-level mean is tight and every workload is within a loose
+     bound (identifiability can blur individual parameters). *)
+  let maes =
+    List.concat_map
+      (fun (_, run) -> List.map (fun e -> e.P.mae) (P.estimate run))
+      (Lazy.force runs)
+  in
+  let mean = List.fold_left ( +. ) 0.0 maes /. float_of_int (List.length maes) in
+  Alcotest.(check bool) (Printf.sprintf "mean MAE %.4f < 0.05" mean) true (mean < 0.05);
+  List.iter
+    (fun mae -> Alcotest.(check bool) (Printf.sprintf "mae %.3f < 0.25" mae) true (mae < 0.25))
+    maes
+
+let test_naive_is_worse_than_em () =
+  let better = ref 0 and total = ref 0 in
+  List.iter
+    (fun (_, run) ->
+      let em = P.estimate ~method_:Tomo.Estimator.Em run in
+      let naive = P.estimate ~method_:Tomo.Estimator.Naive run in
+      List.iter2
+        (fun e n ->
+          if Array.length e.P.truth > 0 then begin
+            incr total;
+            if e.P.mae <= n.P.mae +. 1e-9 then incr better
+          end)
+        em naive)
+    (Lazy.force runs);
+  Alcotest.(check bool)
+    (Printf.sprintf "EM no worse than naive on %d/%d procs" !better !total)
+    true
+    (!better >= (3 * !total / 4))
+
+let test_estimated_freqs_shape () =
+  let run = run_of "sense" in
+  let freqs = P.estimated_freqs run (P.estimate run) in
+  List.iter
+    (fun (proc, freq) ->
+      let inv = float_of_int (List.assoc proc run.P.invocations) in
+      Alcotest.(check (float 1e-6)) "invocations preserved" inv
+        (Cfgir.Freq.invocations freq))
+    freqs
+
+let test_compare_layouts_ordering () =
+  (* The paper's headline: tomography ~ perfect < natural < worst.  We
+     assert the weak ordering that must hold for the reproduction. *)
+  List.iter
+    (fun (name, run) ->
+      let variants = P.compare_layouts run in
+      let rate label = (List.find (fun v -> v.P.label = label) variants).P.taken_rate in
+      let taken label =
+        (List.find (fun v -> v.P.label = label) variants).P.taken_transfers
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: tomography beats natural" name)
+        true
+        (taken "tomography" < taken "natural");
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: perfect beats natural" name)
+        true
+        (taken "perfect" < taken "natural");
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: worst stalls most" name)
+        true
+        (taken "worst" >= taken "natural");
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: tomography within half of perfect's headroom" name)
+        true
+        (taken "tomography" - taken "perfect"
+        <= ((taken "natural" - taken "perfect") / 2) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: rate improves too" name)
+        true
+        (rate "tomography" < rate "natural"))
+    (Lazy.force runs)
+
+let test_compare_layouts_cycles () =
+  List.iter
+    (fun (name, run) ->
+      let variants = P.compare_layouts run in
+      let busy label = (List.find (fun v -> v.P.label = label) variants).P.busy_cycles in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: tomography saves cycles" name)
+        true
+        (busy "tomography" < busy "natural"))
+    (Lazy.force runs)
+
+let test_run_binary_determinism () =
+  let run = run_of "filter" in
+  let binary = P.natural_binary run in
+  let a = P.run_binary ~config run.P.workload binary ~label:"x" in
+  let b = P.run_binary ~config run.P.workload binary ~label:"x" in
+  Alcotest.(check int) "same cycles" a.P.busy_cycles b.P.busy_cycles;
+  Alcotest.(check (float 1e-12)) "same rate" a.P.taken_rate b.P.taken_rate
+
+let test_noise_sigma () =
+  Alcotest.(check bool) "higher resolution -> more noise" true
+    (P.noise_sigma { config with P.timer_resolution = 16 }
+    > P.noise_sigma { config with P.timer_resolution = 1 })
+
+let test_quantized_profiling_still_estimates () =
+  (* Resolution 4: samples are coarse but EM should still land close. *)
+  let w = Workloads.filter in
+  let run = P.profile ~config:{ config with P.timer_resolution = 4 } w in
+  let est = P.estimate run in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "quantized mae %.3f < 0.2" e.P.mae)
+        true (e.P.mae < 0.2))
+    est
+
+let suite =
+  [
+    Alcotest.test_case "profile produces samples" `Slow test_profile_produces_samples;
+    Alcotest.test_case "invocations = samples" `Slow test_invocations_match_samples;
+    Alcotest.test_case "samples above lower bound" `Slow test_samples_at_least_lower_bound;
+    Alcotest.test_case "EM accuracy" `Slow test_estimation_accuracy_em;
+    Alcotest.test_case "EM vs naive" `Slow test_naive_is_worse_than_em;
+    Alcotest.test_case "estimated freqs shape" `Slow test_estimated_freqs_shape;
+    Alcotest.test_case "layout ordering" `Slow test_compare_layouts_ordering;
+    Alcotest.test_case "layout cycles" `Slow test_compare_layouts_cycles;
+    Alcotest.test_case "run_binary determinism" `Slow test_run_binary_determinism;
+    Alcotest.test_case "noise sigma" `Quick test_noise_sigma;
+    Alcotest.test_case "quantized profiling" `Slow test_quantized_profiling_still_estimates;
+  ]

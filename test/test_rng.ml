@@ -1,0 +1,138 @@
+(* Stats.Rng: determinism, ranges, stream independence. *)
+
+let test_determinism () =
+  let a = Stats.Rng.create 123 and b = Stats.Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Stats.Rng.create 1 and b = Stats.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Stats.Rng.bits64 a = Stats.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Stats.Rng.create 9 in
+  ignore (Stats.Rng.bits64 a);
+  let b = Stats.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Stats.Rng.bits64 a)
+    (Stats.Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Stats.Rng.create 5 in
+  let child = Stats.Rng.split parent in
+  let xs = Array.init 32 (fun _ -> Stats.Rng.bits64 parent) in
+  let ys = Array.init 32 (fun _ -> Stats.Rng.bits64 child) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Stats.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Stats.Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done
+
+let test_int_bad_bound () =
+  let rng = Stats.Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Stats.Rng.int rng 0))
+
+let test_int_covers_all () =
+  let rng = Stats.Rng.create 11 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    seen.(Stats.Rng.int rng 6) <- true
+  done;
+  Alcotest.(check bool) "all values appear" true (Array.for_all Fun.id seen)
+
+let test_unit_float_range () =
+  let rng = Stats.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Stats.Rng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_bernoulli_frequency () =
+  let rng = Stats.Rng.create 17 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Stats.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p near 0.3" true (abs_float (p -. 0.3) < 0.02)
+
+let test_shuffle_is_permutation () =
+  let rng = Stats.Rng.create 21 in
+  let a = Array.init 20 Fun.id in
+  Stats.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_choose_member () =
+  let rng = Stats.Rng.create 2 in
+  let a = [| 5; 6; 7 |] in
+  for _ = 1 to 50 do
+    let v = Stats.Rng.choose rng a in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) a)
+  done
+
+let test_categorical_weights () =
+  let rng = Stats.Rng.create 33 in
+  let counts = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let i = Stats.Rng.categorical rng [| 1.0; 2.0; 7.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "w0 ~ 0.1" true (abs_float (frac 0 -. 0.1) < 0.02);
+  Alcotest.(check bool) "w2 ~ 0.7" true (abs_float (frac 2 -. 0.7) < 0.02)
+
+let test_categorical_zero_weights () =
+  let rng = Stats.Rng.create 1 in
+  Alcotest.check_raises "all-zero weights"
+    (Invalid_argument "Rng.categorical: weights sum to zero") (fun () ->
+      ignore (Stats.Rng.categorical rng [| 0.0; 0.0 |]))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int always within bound" ~count:500
+         QCheck.(pair small_int (int_range 1 1000))
+         (fun (seed, bound) ->
+           let rng = Stats.Rng.create seed in
+           let v = Stats.Rng.int rng bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"categorical picks positive-weight index" ~count:200
+         QCheck.(pair small_int (list_of_size (Gen.int_range 1 8) (float_range 0.0 10.0)))
+         (fun (seed, ws) ->
+           QCheck.assume (List.exists (fun w -> w > 0.0) ws);
+           let rng = Stats.Rng.create seed in
+           let w = Array.of_list ws in
+           let i = Stats.Rng.categorical rng w in
+           i >= 0 && i < Array.length w && w.(i) >= 0.0));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "int covers all" `Quick test_int_covers_all;
+    Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+    Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "choose member" `Quick test_choose_member;
+    Alcotest.test_case "categorical weights" `Quick test_categorical_weights;
+    Alcotest.test_case "categorical zero weights" `Quick test_categorical_zero_weights;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,123 @@
+(* Workloads: all compile, are well-formed, and drive the machine. *)
+
+module Cfg = Cfgir.Cfg
+module Program = Mote_isa.Program
+module Node = Mote_os.Node
+
+let test_all_compile () =
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " has code")
+        true
+        (Program.length c.Mote_lang.Compile.program > 0))
+    Workloads.all
+
+let test_five_workloads () = Alcotest.(check int) "count" 5 (List.length Workloads.all)
+
+let test_names_unique () =
+  let names = List.map (fun w -> w.Workloads.name) Workloads.all in
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  Alcotest.(check string) "find sense" "sense" (Workloads.find "sense").Workloads.name;
+  Alcotest.(check bool) "unknown raises" true
+    (match Workloads.find "zzz" with _ -> false | exception Not_found -> true)
+
+let test_tasks_reference_procs () =
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      List.iter
+        (fun { Node.proc; _ } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s task %s exists" w.Workloads.name proc)
+            true
+            (Program.find_proc c.Mote_lang.Compile.program proc <> None))
+        w.Workloads.tasks)
+    Workloads.all
+
+let test_profiled_reference_procs () =
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      List.iter
+        (fun proc ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s profiles %s" w.Workloads.name proc)
+            true
+            (Program.find_proc c.Mote_lang.Compile.program proc <> None))
+        w.Workloads.profiled)
+    Workloads.all
+
+let test_cfgs_well_formed () =
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      List.iter
+        (fun cfg ->
+          let reach = Cfg.reachable cfg in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s entry reachable" w.Workloads.name
+               cfg.Cfg.proc.Program.name)
+            true reach.(0);
+          (* Every procedure must have at least one exit. *)
+          Alcotest.(check bool) "has exit" true (Cfg.exit_blocks cfg <> []))
+        (Cfg.of_program c.Mote_lang.Compile.program))
+    Workloads.all
+
+let test_each_profiled_proc_has_branches () =
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      let total =
+        List.fold_left
+          (fun acc proc ->
+            let cfg = Cfg.of_proc_name c.Mote_lang.Compile.program proc in
+            acc + Cfg.static_cond_branches cfg)
+          0 w.Workloads.profiled
+      in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " has parameters to estimate")
+        true (total > 0))
+    Workloads.all
+
+let test_workloads_run () =
+  List.iter
+    (fun w ->
+      let c = Workloads.compiled w in
+      let devices = Mote_machine.Devices.create () in
+      let machine =
+        Mote_machine.Machine.create ~program:c.Mote_lang.Compile.program ~devices ()
+      in
+      let env = Env.create w.Workloads.env_config in
+      let node = Node.create ~machine ~env ~tasks:w.Workloads.tasks () in
+      let stats = Node.run node ~until:200_000 in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " does work")
+        true
+        (stats.Node.busy_cycles > 0);
+      Alcotest.(check int) (w.Workloads.name ^ " drops nothing") 0 stats.Node.tasks_dropped)
+    Workloads.all
+
+let test_horizons_positive () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) (w.Workloads.name ^ " horizon") true (w.Workloads.horizon > 0))
+    Workloads.all
+
+let suite =
+  [
+    Alcotest.test_case "all compile" `Quick test_all_compile;
+    Alcotest.test_case "five workloads" `Quick test_five_workloads;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "tasks reference procs" `Quick test_tasks_reference_procs;
+    Alcotest.test_case "profiled reference procs" `Quick test_profiled_reference_procs;
+    Alcotest.test_case "cfgs well formed" `Quick test_cfgs_well_formed;
+    Alcotest.test_case "profiled have branches" `Quick test_each_profiled_proc_has_branches;
+    Alcotest.test_case "workloads run" `Quick test_workloads_run;
+    Alcotest.test_case "horizons positive" `Quick test_horizons_positive;
+  ]

@@ -31,17 +31,25 @@ let emit_table ~name ~headers rows =
 let f = Table.fmt_float
 let pct = Table.fmt_pct
 
-(* Profile runs are reused across experiments within one process. *)
-let profile_cache : (string * P.config, P.profile_run) Hashtbl.t = Hashtbl.create 8
+(* One Codetomo.Session per bench process: every experiment draws its
+   profile runs, estimations and layout variants from the session's memo
+   tables (so t4, f5 and f13 share one compare_layouts, F2 and F3 share
+   seed-42 profiles, ...) and fans its sweeps out over the session's
+   domain pool.  [set_domains] must be called before the first
+   experiment runs; the bench driver does so from the -j flag. *)
+let requested_domains : int option ref = ref None
+let set_domains n = requested_domains := Some n
 
-let profile ?(config = P.default_config) w =
-  let key = (w.Workloads.name, config) in
-  match Hashtbl.find_opt profile_cache key with
-  | Some run -> run
-  | None ->
-      let run = P.profile ~config w in
-      Hashtbl.replace profile_cache key run;
-      run
+let session = lazy (Codetomo.Session.create ?domains:!requested_domains ())
+let sess () = Lazy.force session
+let domains () = Codetomo.Session.domains (sess ())
+
+let profile ?config w = Codetomo.Session.profile (sess ()) ?config w
+
+(* Order-preserving parallel map over the session pool.  Every task must
+   derive its randomness from its own key (seed, sweep index), so the
+   emitted tables are bit-identical at any domain count. *)
+let pmap f xs = Codetomo.Session.map_list (sess ()) f xs
 
 let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
 
@@ -52,9 +60,9 @@ let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length x
 let t1 () =
   section "T1. Benchmark characteristics (static)";
   let rows =
-    List.map
+    pmap
       (fun w ->
-        let c = Workloads.compiled w in
+        let c = Codetomo.Session.compiled (sess ()) w in
         let program = c.Mote_lang.Compile.program in
         let cfgs =
           Cfg.of_program program
@@ -97,21 +105,39 @@ let f2 () =
   section
     "F2. Branch-probability MAE vs number of end-to-end timing samples\n\
      (EM; mean over 3 environment seeds)";
-  let series =
-    List.map
-      (fun w ->
-        let runs =
-          List.map (fun seed -> profile ~config:{ P.default_config with P.seed } w) f2_seeds
+  (* Warm the (workload x seed) profile runs in parallel first, then fan
+     the (workload x sample-count) estimation grid; each grid cell reads
+     the memoized runs and estimates serially inside its own task. *)
+  ignore
+    (pmap
+       (fun (w, seed) -> ignore (profile ~config:{ P.default_config with P.seed } w))
+       (List.concat_map
+          (fun w -> List.map (fun seed -> (w, seed)) f2_seeds)
+          Workloads.all));
+  let cells =
+    pmap
+      (fun (w, n) ->
+        let maes =
+          List.concat_map
+            (fun seed ->
+              let config = { P.default_config with P.seed } in
+              List.map
+                (fun e -> e.P.mae)
+                (Codetomo.Session.estimate (sess ()) ~max_samples:n ~config w))
+            f2_seeds
         in
+        mean maes)
+      (List.concat_map
+         (fun w -> List.map (fun n -> (w, n)) sample_points)
+         Workloads.all)
+  in
+  let series =
+    List.mapi
+      (fun i w ->
         let pts =
-          List.map
-            (fun n ->
-              let maes =
-                List.concat_map
-                  (fun run -> List.map (fun e -> e.P.mae) (P.estimate ~max_samples:n run))
-                  runs
-              in
-              (float_of_int n, mean maes))
+          List.mapi
+            (fun j n ->
+              (float_of_int n, List.nth cells ((i * List.length sample_points) + j)))
             sample_points
         in
         (w.Workloads.name, Array.of_list pts))
@@ -147,23 +173,36 @@ let f3 () =
   let mae_at w config =
     List.map
       (fun seed ->
-        let run = profile ~config:{ config with P.seed = seed } w in
-        mean (List.map (fun e -> e.P.mae) (P.estimate run)))
+        let config = { config with P.seed = seed } in
+        mean
+          (List.map (fun e -> e.P.mae) (Codetomo.Session.estimate (sess ()) ~config w)))
       f3_seeds
     |> mean
   in
-  let series =
-    List.map
-      (fun w ->
+  (* Fan the full (workload x sweep-point) grid; each cell profiles and
+     estimates its three seeds inside its own task, hitting the session
+     memo for anything another cell (or experiment) already derived. *)
+  let sweep points config_of =
+    let grid =
+      List.concat_map
+        (fun w -> List.map (fun p -> (w, p)) points)
+        (f3_workloads ())
+    in
+    let maes = pmap (fun (w, p) -> mae_at w (config_of p)) grid in
+    List.mapi
+      (fun i w ->
         let pts =
-          List.map
-            (fun r ->
-              let config = { P.default_config with P.timer_resolution = r } in
-              (float_of_int r, mae_at w config))
-            resolutions
+          List.mapi
+            (fun j p -> (p, List.nth maes ((i * List.length points) + j)))
+            points
         in
         (w.Workloads.name, Array.of_list pts))
       (f3_workloads ())
+  in
+  let series =
+    sweep
+      (List.map float_of_int resolutions)
+      (fun r -> { P.default_config with P.timer_resolution = int_of_float r })
   in
   let rows =
     List.map
@@ -180,17 +219,7 @@ let f3 () =
   (* Jitter sweep at resolution 1. *)
   let jitters = [ 0.0; 1.0; 2.0; 4.0; 8.0 ] in
   let jitter_series =
-    List.map
-      (fun w ->
-        let pts =
-          List.map
-            (fun j ->
-              let config = { P.default_config with P.timer_jitter = j } in
-              (j, mae_at w config))
-            jitters
-        in
-        (w.Workloads.name, Array.of_list pts))
-      (f3_workloads ())
+    sweep jitters (fun j -> { P.default_config with P.timer_jitter = j })
   in
   print_endline
     (Chart.line ~x_label:"timer jitter sigma (cycles)" ~y_label:"MAE"
@@ -200,18 +229,16 @@ let f3 () =
 (* T4 / F5: placement quality.                                         *)
 (* ------------------------------------------------------------------ *)
 
-let layout_cache : (string, P.variant list) Hashtbl.t = Hashtbl.create 8
+(* Memoized in the session: t4, f5 and f13 all read the same four
+   variant runs, computed once. *)
+let layout_variants w = Codetomo.Session.compare_layouts (sess ()) w
 
-let layout_variants w =
-  match Hashtbl.find_opt layout_cache w.Workloads.name with
-  | Some v -> v
-  | None ->
-      let run = profile w in
-      let v = P.compare_layouts run in
-      Hashtbl.replace layout_cache w.Workloads.name v;
-      v
+(* Warm every workload's variants in parallel before the tables read
+   them back in order. *)
+let warm_layout_variants () = ignore (pmap (fun w -> ignore (layout_variants w)) Workloads.all)
 
 let t4 () =
+  warm_layout_variants ();
   section
     "T4. Taken-transfer ('misprediction') counts and rates by layout\n\
      (evaluation on fresh inputs: profiling seed + 1000)";
@@ -263,6 +290,7 @@ let t4 () =
     rows
 
 let f5 () =
+  warm_layout_variants ();
   section "F5. Execution cycles normalized to the natural layout";
   let labels = [ "natural"; "worst"; "tomography"; "perfect" ] in
   let rows =
@@ -303,9 +331,9 @@ let f5 () =
 let t6 () =
   section "T6. Profiling overhead: Code Tomography probes vs edge instrumentation";
   let rows =
-    List.concat_map
+    List.concat (pmap
       (fun w ->
-        let c = Workloads.compiled w in
+        let c = Codetomo.Session.compiled (sess ()) w in
         let base = c.Mote_lang.Compile.program in
         let probes =
           Mote_isa.Asm.assemble (Profilekit.Probes.instrument c.Mote_lang.Compile.items)
@@ -342,7 +370,7 @@ let t6 () =
           row "probes" pr probes;
           row "edges" er edges;
         ])
-      Workloads.all
+      Workloads.all)
   in
   emit_table ~name:"t6"
     ~headers:
@@ -403,30 +431,27 @@ let f7 () =
 let a8 () =
   section "A8. Ablation: estimation method (MAE and resulting placement quality)";
   let methods = Tomo.Estimator.[ Em; Moments; Naive ] in
+  ignore (pmap (fun w -> ignore (profile w)) Workloads.all);
   let rows =
-    List.concat_map
-      (fun w ->
+    pmap
+      (fun (w, m) ->
         let run = profile w in
-        List.map
-          (fun m ->
-            let est = P.estimate ~method_:m run in
-            let mae = mean (List.map (fun e -> e.P.mae) est) in
-            let freqs = P.estimated_freqs run est in
-            let binary =
-              P.placed_binary run ~profiles:freqs
-                ~algorithm:Layout.Algorithms.pettis_hansen
-            in
-            let eval_config = { run.P.config with P.seed = run.P.config.P.seed + 1000 } in
-            let v = P.run_binary ~config:eval_config w binary ~label:"x" in
-            [
-              w.Workloads.name;
-              Tomo.Estimator.method_name m;
-              f ~decimals:4 mae;
-              string_of_int v.P.taken_transfers;
-              string_of_int v.P.busy_cycles;
-            ])
-          methods)
-      Workloads.all
+        let est = Codetomo.Session.estimate (sess ()) ~method_:m w in
+        let mae = mean (List.map (fun e -> e.P.mae) est) in
+        let freqs = P.estimated_freqs run est in
+        let binary =
+          P.placed_binary run ~profiles:freqs ~algorithm:Layout.Algorithms.pettis_hansen
+        in
+        let eval_config = { run.P.config with P.seed = run.P.config.P.seed + 1000 } in
+        let v = P.run_binary ~config:eval_config w binary ~label:"x" in
+        [
+          w.Workloads.name;
+          Tomo.Estimator.method_name m;
+          f ~decimals:4 mae;
+          string_of_int v.P.taken_transfers;
+          string_of_int v.P.busy_cycles;
+        ])
+      (List.concat_map (fun w -> List.map (fun m -> (w, m)) methods) Workloads.all)
   in
   emit_table ~name:"a8"
     ~headers:[ "workload"; "method"; "MAE"; "taken after placement"; "busy cycles" ]
@@ -446,33 +471,40 @@ let a9 () =
       ("anneal", fun freq -> Layout.Algorithms.anneal freq);
     ]
   in
-  let rows =
+  ignore (pmap (fun w -> ignore (profile w)) Workloads.all);
+  (* The exhaustive-optimal search dominates this table; fan it out one
+     task per profiled procedure. *)
+  let tasks =
     List.concat_map
       (fun w ->
         let run = profile w in
-        List.concat_map
-          (fun (proc, freq) ->
-            let cfg = Freq.cfg freq in
-            let optimal =
-              if Cfg.num_blocks cfg <= 9 then
-                Some (Layout.Eval.taken_transfers freq (Layout.Algorithms.optimal freq))
-              else None
-            in
-            List.map
-              (fun (name, algo) ->
-                let score = Layout.Eval.taken_transfers freq (algo freq) in
-                [
-                  w.Workloads.name;
-                  proc;
-                  name;
-                  f ~decimals:1 score;
-                  (match optimal with
-                  | Some o -> f ~decimals:1 o
-                  | None -> "n/a (>9 blocks)");
-                ])
-              algorithms)
-          run.P.oracle_freqs)
+        List.map (fun (proc, freq) -> (w, proc, freq)) run.P.oracle_freqs)
       Workloads.all
+  in
+  let rows =
+    List.concat
+      (pmap
+         (fun (w, proc, freq) ->
+           let cfg = Freq.cfg freq in
+           let optimal =
+             if Cfg.num_blocks cfg <= 9 then
+               Some (Layout.Eval.taken_transfers freq (Layout.Algorithms.optimal freq))
+             else None
+           in
+           List.map
+             (fun (name, algo) ->
+               let score = Layout.Eval.taken_transfers freq (algo freq) in
+               [
+                 w.Workloads.name;
+                 proc;
+                 name;
+                 f ~decimals:1 score;
+                 (match optimal with
+                 | Some o -> f ~decimals:1 o
+                 | None -> "n/a (>9 blocks)");
+               ])
+             algorithms)
+         tasks)
   in
   emit_table ~name:"a9"
     ~headers:[ "workload"; "procedure"; "algorithm"; "taken (static)"; "optimal" ]
@@ -487,8 +519,9 @@ let a9 () =
 
 let a11 () =
   section "A11. Ablation: static branch prediction policy (dynamic, perfect profiles)";
+  ignore (pmap (fun w -> ignore (profile w)) Workloads.all);
   let rows =
-    List.concat_map
+    List.concat (pmap
       (fun w ->
         let run = profile w in
         let placed =
@@ -521,7 +554,7 @@ let a11 () =
             ("not-taken", Mote_machine.Machine.Predict_not_taken);
             ("btfn", Mote_machine.Machine.Predict_btfn);
           ])
-      Workloads.all
+      Workloads.all)
   in
   emit_table ~name:"a11"
     ~headers:
@@ -537,8 +570,11 @@ let a11 () =
 
 let s12 () =
   section "S12. Scalability: estimator cost and accuracy vs generated program size";
+  (* One task per generated program: generation, simulation and EM all
+     derive from the row's own seed, so the fan-out is deterministic
+     (the EM-ms column is wall-clock and varies run to run either way). *)
   let rows =
-    List.map
+    pmap
       (fun (depth, stmts, seed) ->
         let config =
           { Workloads.Generator.default_config with seed; max_depth = depth; stmts_per_block = stmts }
@@ -599,6 +635,7 @@ let s12 () =
 (* ------------------------------------------------------------------ *)
 
 let f13 () =
+  warm_layout_variants ();
   section "F13. Energy per run and projected battery life (TelosB model, 1 MHz core)";
   let rows =
     List.concat_map
@@ -642,12 +679,14 @@ let f13 () =
 let f14 () =
   section "F14. Estimation MAE vs probe-record loss rate (lossy collector, filter)";
   let w = Workloads.filter in
-  let compiled = Workloads.compiled w in
+  let compiled = Codetomo.Session.compiled (sess ()) w in
   let inst =
     Mote_isa.Asm.assemble (Profilekit.Probes.instrument compiled.Mote_lang.Compile.items)
   in
+  (* Each loss rate simulates on its own machine with its own seed-11
+     device RNG, so the sweep fans out without reordering draws. *)
   let rows =
-    List.map
+    pmap
       (fun loss ->
         let devices =
           Mote_machine.Devices.create ~probe_loss:loss
@@ -689,13 +728,14 @@ let a15 () =
   section
     "A15. Cost watermarking: restoring identifiability for equal-cost arms\n\
      (profiling-build-only delay stubs on ambiguous taken edges)";
+  ignore (pmap (fun w -> ignore (profile w)) Workloads.all);
   let rows =
-    List.concat_map
+    List.concat (pmap
       (fun w ->
         let run = profile w in
         let sites = P.ambiguous_sites run in
-        let plain = P.estimate run in
-        let wm, _ = P.estimate_watermarked run in
+        let plain = Codetomo.Session.estimate (sess ()) w in
+        let wm, _ = Codetomo.Session.estimate_watermarked (sess ()) w in
         List.map2
           (fun a b ->
             let n_sites =
@@ -709,7 +749,7 @@ let a15 () =
               f ~decimals:4 b.P.mae;
             ])
           plain wm)
-      Workloads.all
+      Workloads.all)
   in
   emit_table ~name:"a15"
     ~headers:

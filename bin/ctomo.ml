@@ -72,6 +72,24 @@ let method_arg =
     & opt method_conv Tomo.Estimator.Em
     & info [ "method" ] ~docv:"METHOD" ~doc:"Estimator: em, moments or naive.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel stages (per-procedure estimation, the \
+           four layout evaluations, bootstrap CIs).  Defaults to \
+           $(b,CODETOMO_DOMAINS), else the recommended domain count.  \
+           Output is bit-identical at any value.")
+
+(* Every parallel task below derives its randomness from its own key
+   (workload seed or a pre-split stream), so -j changes only wall-clock
+   time, never a number. *)
+let with_pool domains f =
+  let pool = Par.Pool.create ?domains () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
+
 let config_of seed resolution jitter horizon =
   {
     P.seed;
@@ -146,13 +164,14 @@ let save_profile_arg =
         ~doc:"Write the estimated edge-frequency profiles to FILE (feed it back with 'place --profile').")
 
 let profile_cmd =
-  let run w seed resolution jitter horizon method_ save =
+  let run w seed resolution jitter horizon method_ save domains =
+    with_pool domains @@ fun pool ->
     let config = config_of seed resolution jitter horizon in
     let run = P.profile ~config w in
     Printf.printf "profiled %s: %d busy cycles, %d tasks dropped\n\n" w.Workloads.name
       run.P.node_stats.Mote_os.Node.busy_cycles
       run.P.node_stats.Mote_os.Node.tasks_dropped;
-    let estimations = P.estimate ~method_ run in
+    let estimations = P.estimate ~pool ~method_ run in
     List.iter
       (fun e ->
         let samples = List.assoc e.P.proc run.P.samples in
@@ -176,7 +195,7 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Profile a workload and estimate its branch probabilities")
     Term.(
       const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
-      $ method_arg $ save_profile_arg)
+      $ method_arg $ save_profile_arg $ domains_arg)
 
 (* --- place --- *)
 
@@ -188,12 +207,13 @@ let load_profile_arg =
         ~doc:"Use a saved profile (from 'profile --save-profile') for the tomography layout instead of re-estimating.")
 
 let place_cmd =
-  let run w seed resolution jitter horizon method_ profile_file =
+  let run w seed resolution jitter horizon method_ profile_file domains =
+    with_pool domains @@ fun pool ->
     let config = config_of seed resolution jitter horizon in
     let run = P.profile ~config w in
     let variants =
       match profile_file with
-      | None -> P.compare_layouts ~method_ run
+      | None -> P.compare_layouts ~pool ~method_ run
       | Some path ->
           let original = P.natural_binary run in
           let lookup name =
@@ -206,10 +226,9 @@ let place_cmd =
             P.placed_binary run ~profiles ~algorithm:Layout.Algorithms.pettis_hansen
           in
           let eval_config = { config with P.seed = config.P.seed + 1000 } in
-          [
-            P.run_binary ~config:eval_config w original ~label:"natural";
-            P.run_binary ~config:eval_config w placed ~label:"saved-profile";
-          ]
+          Par.Pool.map_list pool
+            (fun (label, binary) -> P.run_binary ~config:eval_config w binary ~label)
+            [ ("natural", original); ("saved-profile", placed) ]
     in
     let rows =
       List.map
@@ -233,7 +252,7 @@ let place_cmd =
        ~doc:"Run the full pipeline and compare layouts (natural/worst/tomography/perfect)")
     Term.(
       const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
-      $ method_arg $ load_profile_arg)
+      $ method_arg $ load_profile_arg $ domains_arg)
 
 (* --- overhead --- *)
 
@@ -321,44 +340,59 @@ let trace_cmd =
 (* --- report --- *)
 
 let report_cmd =
-  let run w seed resolution jitter horizon =
+  let run w seed resolution jitter horizon domains =
+    with_pool domains @@ fun pool ->
     let config = config_of seed resolution jitter horizon in
     let run = P.profile ~config w in
     Printf.printf "=== %s: %s ===\n\n" w.Workloads.name w.Workloads.description;
-    (* Estimation with uncertainty and fit diagnostics. *)
+    (* Estimation with uncertainty and fit diagnostics.  Each procedure
+       gets its own pre-split bootstrap stream, so the fan-out order
+       (and hence -j) cannot change a single interval. *)
+    let procs = w.Workloads.profiled in
     let rng = Stats.Rng.create (seed + 31) in
+    let streams = Stats.Rng.split_n rng (List.length procs) in
+    let per_proc =
+      Par.Pool.map_list pool
+        (fun (i, proc) ->
+          let samples = List.assoc proc run.P.samples in
+          let model = P.model_of run proc in
+          if Array.length samples = 0 then (proc, samples, None)
+          else
+            let paths = Tomo.Paths.enumerate ~max_paths:20_000 model in
+            let est =
+              Tomo.Em.estimate ~sigma:(P.noise_sigma config) paths ~samples
+            in
+            let ci =
+              Tomo.Confidence.bootstrap ~replicates:30 streams.(i) paths ~samples
+                ~point:est.Tomo.Em.theta
+            in
+            let fit =
+              Tomo.Fit.check ~sigma:est.Tomo.Em.sigma paths ~theta:est.Tomo.Em.theta
+                ~samples
+            in
+            (proc, samples, Some (ci, fit)))
+        (List.mapi (fun i proc -> (i, proc)) procs)
+    in
     List.iter
-      (fun proc ->
-        let samples = List.assoc proc run.P.samples in
-        let model = P.model_of run proc in
-        if Array.length samples = 0 then
-          Printf.printf "%s: no invocations observed\n" proc
-        else begin
-          let paths = Tomo.Paths.enumerate ~max_paths:20_000 model in
-          let est =
-            Tomo.Em.estimate ~sigma:(P.noise_sigma config) paths ~samples
-          in
-          let ci =
-            Tomo.Confidence.bootstrap ~replicates:30 rng paths ~samples
-              ~point:est.Tomo.Em.theta
-          in
-          let fit = Tomo.Fit.check ~sigma:est.Tomo.Em.sigma paths ~theta:est.Tomo.Em.theta ~samples in
-          let truth = List.assoc proc run.P.oracle_thetas in
-          Printf.printf "%s (%d samples):\n" proc (Array.length samples);
-          Array.iteri
-            (fun k i ->
-              Printf.printf
-                "  theta[%d] = %.3f  [%.3f, %.3f]   (oracle %.3f)\n" k
-                i.Tomo.Confidence.point i.Tomo.Confidence.lo i.Tomo.Confidence.hi
-                truth.(k))
-            ci.Tomo.Confidence.intervals;
-          Printf.printf "  fit: %s -> %s\n\n"
-            (Format.asprintf "%a" Tomo.Fit.pp fit)
-            (if Tomo.Fit.acceptable fit then "acceptable" else "SUSPECT")
-        end)
-      w.Workloads.profiled;
+      (fun (proc, samples, result) ->
+        match result with
+        | None -> Printf.printf "%s: no invocations observed\n" proc
+        | Some (ci, fit) ->
+            let truth = List.assoc proc run.P.oracle_thetas in
+            Printf.printf "%s (%d samples):\n" proc (Array.length samples);
+            Array.iteri
+              (fun k i ->
+                Printf.printf
+                  "  theta[%d] = %.3f  [%.3f, %.3f]   (oracle %.3f)\n" k
+                  i.Tomo.Confidence.point i.Tomo.Confidence.lo i.Tomo.Confidence.hi
+                  truth.(k))
+              ci.Tomo.Confidence.intervals;
+            Printf.printf "  fit: %s -> %s\n\n"
+              (Format.asprintf "%a" Tomo.Fit.pp fit)
+              (if Tomo.Fit.acceptable fit then "acceptable" else "SUSPECT"))
+      per_proc;
     (* Layout and energy consequences. *)
-    let variants = P.compare_layouts run in
+    let variants = P.compare_layouts ~pool run in
     let horizon_cycles = Option.value ~default:w.Workloads.horizon config.P.horizon in
     let rows =
       List.map
@@ -391,7 +425,9 @@ let report_cmd =
        ~doc:
          "One-stop workload report: estimates with confidence intervals and fit checks, \
           layout comparison, energy and projected battery life")
-    Term.(const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg)
+    Term.(
+      const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
+      $ domains_arg)
 
 (* --- asm --- *)
 

@@ -53,8 +53,17 @@ let make_node ~config ~(workload : Workloads.t) ~binary =
   in
   Node.create ~machine ~env ~tasks:workload.Workloads.tasks ()
 
-let profile ?(config = default_config) (workload : Workloads.t) =
-  let compiled = Workloads.compiled workload in
+(* Fan a per-item computation through a pool when one is given; the
+   serial path is the same code, so results are identical either way. *)
+let pmap ?pool f xs =
+  match pool with
+  | Some pool -> Par.Pool.map_list pool f xs
+  | None -> List.map f xs
+
+let profile ?(config = default_config) ?compiled (workload : Workloads.t) =
+  let compiled =
+    match compiled with Some c -> c | None -> Workloads.compiled workload
+  in
   let instrumented_items = Profilekit.Probes.instrument compiled.Mote_lang.Compile.items in
   let instrumented = Asm.assemble instrumented_items in
   let node = make_node ~config ~workload ~binary:instrumented in
@@ -120,15 +129,20 @@ type estimation = {
   sample_count : int;
 }
 
-let estimate ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visits run =
-  List.map
+(* [max_samples] keeps the chronological prefix: the first N observation
+   windows, as if profiling had simply stopped after N invocations (the
+   planner's stopping-rule assumption). *)
+let truncate_samples ?max_samples all =
+  match max_samples with
+  | Some n when n >= 0 && Array.length all > n -> Array.sub all 0 n
+  | _ -> all
+
+let estimate ?pool ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visits
+    run =
+  pmap ?pool
     (fun proc ->
       let all = List.assoc proc run.samples in
-      let samples =
-        match max_samples with
-        | Some n when Array.length all > n -> Array.sub all 0 n
-        | _ -> all
-      in
+      let samples = truncate_samples ?max_samples all in
       let model = model_of run proc in
       let estimate =
         Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
@@ -155,10 +169,10 @@ let ambiguous_sites ?max_paths ?max_visits run =
       | exception Tomo.Paths.Too_complex _ -> [])
     run.workload.Workloads.profiled
 
-let estimate_watermarked ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
+let estimate_watermarked ?pool ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
     ?max_visits run =
   let sites = ambiguous_sites ?max_paths ?max_visits run in
-  if sites = [] then (estimate ~method_ ?max_samples ?max_paths ?max_visits run, [])
+  if sites = [] then (estimate ?pool ~method_ ?max_samples ?max_paths ?max_visits run, [])
   else begin
     (* Rebuild the profiling image with delay stubs on the ambiguous taken
        edges, then profile and estimate against that image's own model.
@@ -175,14 +189,10 @@ let estimate_watermarked ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
       Profilekit.Probes.collect ~program:binary ~devices:(Machine.devices machine)
     in
     let estimations =
-      List.map
+      pmap ?pool
         (fun proc ->
           let all = Profilekit.Probes.samples_for sample_set proc in
-          let samples =
-            match max_samples with
-            | Some n when Array.length all > n -> Array.sub all 0 n
-            | _ -> all
-          in
+          let samples = truncate_samples ?max_samples all in
           let model = Tomo.Model.of_cfg (Cfg.of_proc_name binary proc) in
           let estimate =
             Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
@@ -264,13 +274,13 @@ let worst_placement freq =
 let worst_binary run =
   placed_binary run ~profiles:run.oracle_freqs ~algorithm:worst_placement
 
-let compare_layouts ?eval_config ?(method_ = Tomo.Estimator.Em) run =
+let compare_layouts ?pool ?eval_config ?(method_ = Tomo.Estimator.Em) run =
   let eval_config =
     match eval_config with
     | Some c -> c
     | None -> { run.config with seed = run.config.seed + 1000 }
   in
-  let estimations = estimate ~method_ run in
+  let estimations = estimate ?pool ~method_ run in
   let tomo_freqs = estimated_freqs run estimations in
   let natural = natural_binary run in
   let tomo =
@@ -281,7 +291,10 @@ let compare_layouts ?eval_config ?(method_ = Tomo.Estimator.Em) run =
       ~algorithm:Layout.Algorithms.pettis_hansen
   in
   let worst = worst_binary run in
-  List.map
+  (* Each variant runs on its own fresh machine/environment pair seeded
+     from [eval_config], so the four evaluations are independent and can
+     fan out through the pool without changing any number. *)
+  pmap ?pool
     (fun (label, binary) -> run_binary ~config:eval_config run.workload binary ~label)
     [
       ("natural", natural);

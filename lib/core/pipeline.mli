@@ -40,8 +40,11 @@ type profile_run = {
   node_stats : Mote_os.Node.run_stats;
 }
 
-val profile : ?config:config -> Workloads.t -> profile_run
-(** Run the workload once with probes and the oracle attached. *)
+val profile :
+  ?config:config -> ?compiled:Mote_lang.Compile.t -> Workloads.t -> profile_run
+(** Run the workload once with probes and the oracle attached.
+    [?compiled] reuses an existing compilation of the same workload
+    (e.g. {!Session}'s memoized one) instead of recompiling. *)
 
 val original_cfg : profile_run -> string -> Cfgir.Cfg.t
 val model_of : profile_run -> string -> Tomo.Model.t
@@ -61,14 +64,23 @@ type estimation = {
 }
 
 val estimate :
+  ?pool:Par.Pool.t ->
   ?method_:Tomo.Estimator.method_ ->
   ?max_samples:int ->
   ?max_paths:int ->
   ?max_visits:int ->
   profile_run ->
   estimation list
-(** Estimate every profiled procedure (capping at [max_samples] most
-    recent... first observations when given). *)
+(** Estimate every profiled procedure.  [max_samples] keeps the
+    {e chronological prefix} — the first [max_samples] observation
+    windows, exactly as if profiling had stopped once that many
+    invocations had been seen.  This matches {!Tomo.Planner}'s
+    stopping-rule semantics (F2 sweeps "how long must we profile?",
+    not "which windows do we keep?").  When [max_samples] is absent,
+    negative, or at least the sample count, all samples are used.
+    [pool] fans the per-procedure estimations out over a domain pool;
+    estimation is deterministic, so the result is identical with or
+    without it. *)
 
 val ambiguous_sites :
   ?max_paths:int -> ?max_visits:int -> profile_run -> (string * int) list
@@ -77,6 +89,7 @@ val ambiguous_sites :
     instrumented binary's coordinates — see {!Tomo.Identify}. *)
 
 val estimate_watermarked :
+  ?pool:Par.Pool.t ->
   ?method_:Tomo.Estimator.method_ ->
   ?max_samples:int ->
   ?max_paths:int ->
@@ -131,8 +144,15 @@ val worst_binary : profile_run -> Mote_isa.Program.t
     procedures, inverted Pettis–Hansen above that). *)
 
 val compare_layouts :
-  ?eval_config:config -> ?method_:Tomo.Estimator.method_ -> profile_run -> variant list
+  ?pool:Par.Pool.t ->
+  ?eval_config:config ->
+  ?method_:Tomo.Estimator.method_ ->
+  profile_run ->
+  variant list
 (** The T4/F5 experiment for one workload: natural, worst-case,
     tomography-guided and perfect-profile binaries, all run under the same
     evaluation environment (default: profiling seed + 1000, so placement
-    is tested on fresh inputs from the same distribution). *)
+    is tested on fresh inputs from the same distribution).  [pool] runs
+    the four variant evaluations on separate domains; every variant owns
+    a fresh machine/environment seeded from the evaluation config, so
+    parallel output is bit-identical to serial. *)

@@ -1,0 +1,138 @@
+type profile_key = { name : string; config : Pipeline.config }
+
+type estimate_key = {
+  pname : string;
+  pconfig : Pipeline.config;
+  method_name : string;
+  max_samples : int option;
+  max_paths : int option;
+  max_visits : int option;
+  watermarked : bool;
+}
+
+type variants_key = {
+  vname : string;
+  vconfig : Pipeline.config;
+  eval_config : Pipeline.config option;
+  vmethod : string;
+}
+
+type t = {
+  pool : Par.Pool.t;
+  owns_pool : bool;
+  mutex : Mutex.t;
+  compilations : (string, Mote_lang.Compile.t) Hashtbl.t;
+  profiles : (profile_key, Pipeline.profile_run) Hashtbl.t;
+  estimates : (estimate_key, Pipeline.estimation list * (string * int) list) Hashtbl.t;
+  variants : (variants_key, Pipeline.variant list) Hashtbl.t;
+}
+
+let create ?domains ?pool () =
+  let pool, owns_pool =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Par.Pool.create ?domains (), true)
+  in
+  {
+    pool;
+    owns_pool;
+    mutex = Mutex.create ();
+    compilations = Hashtbl.create 8;
+    profiles = Hashtbl.create 16;
+    estimates = Hashtbl.create 32;
+    variants = Hashtbl.create 8;
+  }
+
+let close t = if t.owns_pool then Par.Pool.shutdown t.pool
+let pool t = t.pool
+let domains t = Par.Pool.domains t.pool
+let map_list t f xs = Par.Pool.map_list t.pool f xs
+
+(* Compute outside the lock so concurrent misses on different keys run
+   in parallel; on a same-key race the first insert wins and the loser's
+   (equal) candidate is dropped, keeping every caller's view identical. *)
+let memo t tbl key compute =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      Mutex.unlock t.mutex;
+      v
+  | None ->
+      Mutex.unlock t.mutex;
+      let candidate = compute () in
+      Mutex.lock t.mutex;
+      let v =
+        match Hashtbl.find_opt tbl key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.replace tbl key candidate;
+            candidate
+      in
+      Mutex.unlock t.mutex;
+      v
+
+let compiled t (w : Workloads.t) =
+  memo t t.compilations w.Workloads.name (fun () -> Workloads.compiled w)
+
+let profile t ?(config = Pipeline.default_config) (w : Workloads.t) =
+  memo t t.profiles
+    { name = w.Workloads.name; config }
+    (fun () -> Pipeline.profile ~config ~compiled:(compiled t w) w)
+
+let estimate_key ?(config = Pipeline.default_config) ~method_ ~max_samples ~max_paths
+    ~max_visits ~watermarked (w : Workloads.t) =
+  {
+    pname = w.Workloads.name;
+    pconfig = config;
+    method_name = Tomo.Estimator.method_name method_;
+    max_samples;
+    max_paths;
+    max_visits;
+    watermarked;
+  }
+
+let estimate t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visits
+    ?config (w : Workloads.t) =
+  let key =
+    estimate_key ?config ~method_ ~max_samples ~max_paths ~max_visits
+      ~watermarked:false w
+  in
+  fst
+    (memo t t.estimates key (fun () ->
+         let run = profile t ?config w in
+         ( Pipeline.estimate ~pool:t.pool ~method_ ?max_samples ?max_paths ?max_visits
+             run,
+           [] )))
+
+let estimate_watermarked t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
+    ?max_visits ?config (w : Workloads.t) =
+  let key =
+    estimate_key ?config ~method_ ~max_samples ~max_paths ~max_visits ~watermarked:true
+      w
+  in
+  memo t t.estimates key (fun () ->
+      let run = profile t ?config w in
+      Pipeline.estimate_watermarked ~pool:t.pool ~method_ ?max_samples ?max_paths
+        ?max_visits run)
+
+let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em)
+    ?(config = Pipeline.default_config) (w : Workloads.t) =
+  let key =
+    {
+      vname = w.Workloads.name;
+      vconfig = config;
+      eval_config;
+      vmethod = Tomo.Estimator.method_name method_;
+    }
+  in
+  memo t t.variants key (fun () ->
+      let run = profile t ~config w in
+      Pipeline.compare_layouts ~pool:t.pool ?eval_config ~method_ run)
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.compilations;
+  Hashtbl.reset t.profiles;
+  Hashtbl.reset t.estimates;
+  Hashtbl.reset t.variants;
+  Mutex.unlock t.mutex

@@ -1,0 +1,87 @@
+(** The pipeline engine: memoized stage artifacts plus a domain pool.
+
+    A [Session.t] owns every expensive artifact the evaluation reuses —
+    compilations, probe-instrumented profile runs, per-procedure
+    estimations, and the four-way layout comparisons — each memoized
+    under a key of workload name plus the full {!Pipeline.config} (and,
+    for estimation, the estimator knobs).  Experiments that share a
+    stage get it computed once per session instead of once per caller;
+    this replaces the ad-hoc profile caches the bench harness used to
+    keep privately.
+
+    All stage computations are deterministic given their key, so the
+    memo tables are also safe under the session's own parallelism: the
+    tables are mutex-guarded, values are computed outside the lock, and
+    when two domains race to fill a key the first insert wins — both
+    candidates are equal anyway.
+
+    Fan-out goes through the session's {!Par.Pool}: per-procedure
+    estimation, the four {!Pipeline.compare_layouts} variant runs, and
+    any caller-side sweep via {!map_list}.  Every task derives its
+    randomness from its own key (workload seed, sweep index), never
+    from a generator shared across tasks, so a session at [domains = 4]
+    produces bit-identical tables to one at [domains = 1]. *)
+
+type t
+
+val create : ?domains:int -> ?pool:Par.Pool.t -> unit -> t
+(** [create ()] builds a session with a fresh pool of
+    [Par.Pool.default_domains ()] domains ([CODETOMO_DOMAINS] wins over
+    [Domain.recommended_domain_count]).  [~domains] overrides the size;
+    [~pool] adopts an existing pool instead (the caller keeps ownership
+    and {!close} will not shut it down). *)
+
+val close : t -> unit
+(** Shut down the session's pool if the session created it.  The memo
+    tables survive; further calls run serially. *)
+
+val pool : t -> Par.Pool.t
+val domains : t -> int
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Fan an arbitrary per-item computation through the session pool,
+    preserving order (see {!Par.Pool.map_list}). *)
+
+val compiled : t -> Workloads.t -> Mote_lang.Compile.t
+(** Memoized {!Workloads.compiled}. *)
+
+val profile : t -> ?config:Pipeline.config -> Workloads.t -> Pipeline.profile_run
+(** Memoized {!Pipeline.profile} keyed by workload name and config. *)
+
+val estimate :
+  t ->
+  ?method_:Tomo.Estimator.method_ ->
+  ?max_samples:int ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  ?config:Pipeline.config ->
+  Workloads.t ->
+  Pipeline.estimation list
+(** Memoized per-procedure estimation of the (memoized) profile run,
+    keyed additionally by method and the estimator bounds.  The
+    per-procedure work fans out through the pool. *)
+
+val estimate_watermarked :
+  t ->
+  ?method_:Tomo.Estimator.method_ ->
+  ?max_samples:int ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  ?config:Pipeline.config ->
+  Workloads.t ->
+  Pipeline.estimation list * (string * int) list
+(** Memoized {!Pipeline.estimate_watermarked} over the memoized profile
+    run. *)
+
+val compare_layouts :
+  t ->
+  ?eval_config:Pipeline.config ->
+  ?method_:Tomo.Estimator.method_ ->
+  ?config:Pipeline.config ->
+  Workloads.t ->
+  Pipeline.variant list
+(** Memoized {!Pipeline.compare_layouts}: the four variant evaluations
+    run on the pool, once per (workload, config, eval config, method). *)
+
+val clear : t -> unit
+(** Drop every memoized artifact (the pool is untouched). *)

@@ -1,0 +1,164 @@
+type t = {
+  total : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  busy : bool Atomic.t;
+}
+
+let max_domains = 128
+
+let default_domains () =
+  match Sys.getenv_opt "CODETOMO_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n max_domains
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Workers sleep on [cond] until the generation counter moves, run the
+   published job to exhaustion, then go back to sleep.  A worker that
+   misses a generation entirely is fine: jobs self-schedule from an
+   atomic counter, so late (or re-run) participants find no work left
+   and return immediately. *)
+let rec worker_loop t my_gen =
+  Mutex.lock t.mutex;
+  while t.generation = my_gen && not t.stop do
+    Condition.wait t.cond t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let gen = t.generation in
+    let job = t.job in
+    Mutex.unlock t.mutex;
+    (match job with Some run -> run () | None -> ());
+    worker_loop t gen
+  end
+
+let create ?domains () =
+  let requested = match domains with Some d -> d | None -> default_domains () in
+  let total = max 1 (min requested max_domains) in
+  let t =
+    {
+      total;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+      workers = [||];
+      busy = Atomic.make false;
+    }
+  in
+  t.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let domains t = t.total
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ws = t.workers in
+  t.stop <- true;
+  t.workers <- [||];
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join ws
+
+(* Every task is attempted and its outcome recorded per index; the
+   exception re-raised afterwards is the lowest-index failure, so the
+   observable behaviour does not depend on scheduling.  The serial path
+   runs the identical protocol. *)
+let collect results =
+  let rec first_error i =
+    if i >= Array.length results then None
+    else
+      match results.(i) with
+      | Some (Error e) -> Some e
+      | _ -> first_error (i + 1)
+  in
+  match first_error 0 with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None ->
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | _ -> invalid_arg "Par.Pool: task slot left unfilled")
+        results
+
+let run_all f a results =
+  let n = Array.length a in
+  for i = 0 to n - 1 do
+    results.(i) <-
+      Some
+        (match f a.(i) with
+        | v -> Ok v
+        | exception exn -> Error (exn, Printexc.get_raw_backtrace ()))
+  done;
+  collect results
+
+let map t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else
+    let results = Array.make n None in
+    if
+      t.total = 1 || n = 1 || t.stop
+      || not (Atomic.compare_and_set t.busy false true)
+    then run_all f a results
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.busy false)
+        (fun () ->
+          let next = Atomic.make 0 in
+          let finished = Atomic.make 0 in
+          let done_mutex = Mutex.create () in
+          let done_cond = Condition.create () in
+          (* Small chunks keep coarse tasks balanced; 1 is the common
+             case for the sweep sizes we fan out. *)
+          let chunk = max 1 (n / (t.total * 8)) in
+          let work () =
+            let rec loop () =
+              let start = Atomic.fetch_and_add next chunk in
+              if start < n then begin
+                let stop_ = min n (start + chunk) in
+                for i = start to stop_ - 1 do
+                  results.(i) <-
+                    Some
+                      (match f a.(i) with
+                      | v -> Ok v
+                      | exception exn -> Error (exn, Printexc.get_raw_backtrace ()));
+                  (* Whoever completes the last task wakes the caller;
+                     blocking (rather than spinning) matters when cores
+                     are scarce and a worker still owns the tail task. *)
+                  if Atomic.fetch_and_add finished 1 = n - 1 then begin
+                    Mutex.lock done_mutex;
+                    Condition.broadcast done_cond;
+                    Mutex.unlock done_mutex
+                  end
+                done;
+                loop ()
+              end
+            in
+            loop ()
+          in
+          Mutex.lock t.mutex;
+          t.job <- Some work;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex;
+          work ();
+          Mutex.lock done_mutex;
+          while Atomic.get finished < n do
+            Condition.wait done_cond done_mutex
+          done;
+          Mutex.unlock done_mutex;
+          collect results)
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -20,6 +20,21 @@ let split t =
   let child_seed = bits64 t in
   { state = child_seed }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  (* Jump the SplitMix64 state by [index + 1] gammas and mix, so stream 0
+     differs from [create seed] itself and streams are mutually
+     decorrelated without any shared mutable parent. *)
+  let base = Int64.of_int seed in
+  let jumped =
+    Int64.add base (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  { state = mix jumped }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is negligible for

@@ -19,6 +19,21 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
     generator.  Use one child per subsystem to decouple their draws. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] advances [t] [n] times and returns [n] independent
+    children, in draw order.  Splitting all streams {e up front} — one
+    per task, in task order — is what keeps parallel fan-outs
+    bit-identical to serial runs: each task owns its stream regardless
+    of which domain executes it, see {!Par.Pool}. *)
+
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] is the [index]-th member of an unbounded
+    family of decorrelated generators derived from [seed] alone — no
+    parent state to thread.  Equal [(seed, index)] pairs always yield
+    equal streams, and [stream ~seed ~index:0] differs from
+    [create seed].  Use when tasks are keyed by a stable index (sweep
+    position, procedure rank) rather than spawned from a live parent. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

@@ -29,6 +29,19 @@ val bootstrap :
     replicate (warm-started, so few are needed).
     @raise Invalid_argument on empty samples. *)
 
+val bootstrap_many :
+  ?pool:Par.Pool.t ->
+  ?replicates:int ->
+  ?confidence:float ->
+  ?max_iters:int ->
+  Stats.Rng.t ->
+  (Paths.t * float array * float array) list ->
+  t list
+(** Bootstrap several [(paths, samples, point)] cases, consuming one
+    {!Stats.Rng.split} child of [rng] per case {e in case order} before
+    any resampling begins.  Because each case owns its stream, running
+    on [pool] yields exactly the serial intervals. *)
+
 val contains : t -> int -> float -> bool
 (** Does parameter [k]'s interval contain a value? *)
 

@@ -34,6 +34,19 @@ val run :
   t
 (** Defaults: EM, noise σ from a unit-resolution jitter-free timer. *)
 
+val run_many :
+  ?pool:Par.Pool.t ->
+  ?method_:method_ ->
+  ?noise_sigma:float ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  ?max_iters:int ->
+  (Model.t * float array) list ->
+  t list
+(** [run_many cases] estimates every [(model, samples)] case, fanning
+    out over [pool] when given.  Estimation draws no randomness, so the
+    result list (in input order) is identical at any domain count. *)
+
 val mae_against : t -> float array -> float
 (** Mean absolute θ error against a ground-truth vector. *)
 

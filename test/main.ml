@@ -19,6 +19,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);
       ("pipeline", Test_pipeline.suite);
+      ("par", Test_par.suite);
       ("extensions", Test_extensions.suite);
       ("network", Test_network.suite);
       ("binary", Test_binary.suite);

@@ -28,6 +28,37 @@ let test_split_independent () =
   let ys = Array.init 32 (fun _ -> Stats.Rng.bits64 child) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+let test_split_n_matches_split () =
+  let a = Stats.Rng.create 5 and b = Stats.Rng.create 5 in
+  let children = Stats.Rng.split_n a 4 in
+  Array.iter
+    (fun child ->
+      let expected = Stats.Rng.split b in
+      Alcotest.(check int64) "split_n = repeated split" (Stats.Rng.bits64 expected)
+        (Stats.Rng.bits64 child))
+    children;
+  (* Parents advanced identically. *)
+  Alcotest.(check int64) "parent state" (Stats.Rng.bits64 b) (Stats.Rng.bits64 a)
+
+let test_stream_deterministic () =
+  let a = Stats.Rng.stream ~seed:42 ~index:3 in
+  let b = Stats.Rng.stream ~seed:42 ~index:3 in
+  for _ = 1 to 32 do
+    Alcotest.(check int64) "same (seed, index) stream" (Stats.Rng.bits64 a)
+      (Stats.Rng.bits64 b)
+  done
+
+let test_stream_decorrelated () =
+  let draws index =
+    let rng = Stats.Rng.stream ~seed:42 ~index in
+    Array.init 16 (fun _ -> Stats.Rng.bits64 rng)
+  in
+  Alcotest.(check bool) "index 0 <> index 1" true (draws 0 <> draws 1);
+  Alcotest.(check bool) "index 1 <> index 2" true (draws 1 <> draws 2);
+  let base = Stats.Rng.create 42 in
+  let base_draws = Array.init 16 (fun _ -> Stats.Rng.bits64 base) in
+  Alcotest.(check bool) "stream 0 <> create seed" true (draws 0 <> base_draws)
+
 let test_int_bounds () =
   let rng = Stats.Rng.create 7 in
   for _ = 1 to 1000 do
@@ -125,6 +156,9 @@ let suite =
     Alcotest.test_case "different seeds" `Quick test_different_seeds;
     Alcotest.test_case "copy" `Quick test_copy_independent;
     Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "split_n" `Quick test_split_n_matches_split;
+    Alcotest.test_case "stream determinism" `Quick test_stream_deterministic;
+    Alcotest.test_case "stream decorrelation" `Quick test_stream_decorrelated;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
     Alcotest.test_case "int covers all" `Quick test_int_covers_all;

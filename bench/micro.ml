@@ -55,6 +55,46 @@ let test_em =
          let paths = Tomo.Paths.enumerate model in
          ignore (Tomo.Em.estimate paths ~samples)))
 
+(* The sparse-kernel benches run on ctp_rx_task — the grid's dominant cell
+   (4096 raw paths merging to a couple hundred signatures). *)
+let prepared_ctp =
+  lazy
+    (let w = Workloads.ctp in
+     let run =
+       Codetomo.Pipeline.profile
+         ~config:{ Codetomo.Pipeline.default_config with timer_jitter = 4.0 }
+         w
+     in
+     let samples = List.assoc "ctp_rx_task" run.Codetomo.Pipeline.samples in
+     let model = Codetomo.Pipeline.model_of run "ctp_rx_task" in
+     let paths = Tomo.Paths.enumerate model in
+     (model, paths, samples))
+
+let test_paths_merge =
+  Test.make ~name:"path enumeration + merge (ctp_rx_task)"
+    (Staged.stage (fun () ->
+         let model, _, _ = Lazy.force prepared_ctp in
+         ignore (Tomo.Paths.enumerate model)))
+
+let test_em_sparse =
+  Test.make ~name:"EM estimate, 3 iters (ctp_rx_task, jitter 4)"
+    (Staged.stage (fun () ->
+         let _, paths, samples = Lazy.force prepared_ctp in
+         ignore
+           (Tomo.Em.estimate ~max_iters:3 ~sigma:4.0 ~record_trajectory:false paths
+              ~samples)))
+
+let test_log_prior =
+  Test.make ~name:"signature log-prior kernel (ctp_rx_task)"
+    (Staged.stage (fun () ->
+         let _, paths, _ = Lazy.force prepared_ctp in
+         let model = Tomo.Paths.model paths in
+         let theta = Array.map (fun _ -> 0.3) (Tomo.Model.uniform_theta model) in
+         let log_t = Array.map log theta in
+         let log_f = Array.map (fun t -> log (1.0 -. t)) theta in
+         let out = Array.make (Tomo.Paths.num_signatures paths) 0.0 in
+         Tomo.Paths.signature_log_prior paths ~log_t ~log_f out))
+
 let test_placement =
   Test.make ~name:"Pettis-Hansen + rewrite (sense)"
     (Staged.stage (fun () ->
@@ -66,11 +106,15 @@ let test_placement =
 
 let benchmark () =
   ignore (Lazy.force prepared_sense);
+  ignore (Lazy.force prepared_ctp);
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
   let grouped =
     Test.make_grouped ~name:"codetomo"
-      [ test_simulator; test_cfg; test_paths; test_em; test_placement ]
+      [
+        test_simulator; test_cfg; test_paths; test_em; test_paths_merge;
+        test_em_sparse; test_log_prior; test_placement;
+      ]
   in
   let results = Benchmark.all cfg instances grouped in
   let ols =

@@ -1,0 +1,251 @@
+(* Compare two `main.exe --timings` JSON files.
+
+     timings.exe BASELINE CURRENT [--gate RATIO] [--min-seconds S]
+
+   Prints a per-experiment table of baseline vs current wall-clock with
+   the current/baseline ratio.  With [--gate], exits 1 when any
+   experiment whose baseline takes at least [--min-seconds] (default
+   0.5s — below that the ratio is timer noise) regressed by more than
+   the given factor.  Experiments present in only one file are reported
+   but never gate. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+(* A minimal recursive-descent parser — enough for the timings format
+   (and any other JSON these tools may grow), with no dependencies. *)
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?';
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+type run = { domains : int; total : float; experiments : (string * float) list }
+
+let field name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "timings: %s\n" msg;
+      exit 2
+  in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let json =
+    try parse_json contents
+    with Parse_error msg ->
+      Printf.eprintf "timings: %s: %s\n" path msg;
+      exit 2
+  in
+  let num = function Some (Num f) -> f | _ -> nan in
+  let experiments =
+    match field "experiments" json with
+    | Some (Arr entries) ->
+        List.filter_map
+          (fun e ->
+            match (field "name" e, field "seconds" e) with
+            | Some (Str name), Some (Num s) -> Some (name, s)
+            | _ -> None)
+          entries
+    | _ ->
+        Printf.eprintf "timings: %s: no \"experiments\" array\n" path;
+        exit 2
+  in
+  {
+    domains = int_of_float (num (field "domains" json));
+    total = num (field "total_seconds" json);
+    experiments;
+  }
+
+let usage () =
+  prerr_endline
+    "usage: timings.exe BASELINE CURRENT [--gate RATIO] [--min-seconds S]";
+  exit 2
+
+let () =
+  let rec parse args files gate min_seconds =
+    match args with
+    | [] -> (List.rev files, gate, min_seconds)
+    | "--gate" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some g when g > 0.0 -> parse rest files (Some g) min_seconds
+        | _ -> usage ())
+    | "--min-seconds" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s >= 0.0 -> parse rest files gate s
+        | _ -> usage ())
+    | f :: rest -> parse rest (f :: files) gate min_seconds
+  in
+  let files, gate, min_seconds =
+    parse (List.tl (Array.to_list Sys.argv)) [] None 0.5
+  in
+  let base_path, cur_path =
+    match files with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let base = load base_path and cur = load cur_path in
+  Printf.printf "baseline: %s  (%d domains, %.3fs total)\n" base_path base.domains
+    base.total;
+  Printf.printf "current:  %s  (%d domains, %.3fs total)\n\n" cur_path cur.domains
+    cur.total;
+  Printf.printf "  %-12s %12s %12s %10s\n" "experiment" "baseline(s)" "current(s)"
+    "ratio";
+  let regressions = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, b) ->
+      Hashtbl.replace seen name ();
+      match List.assoc_opt name cur.experiments with
+      | None -> Printf.printf "  %-12s %12.3f %12s %10s\n" name b "-" "gone"
+      | Some c ->
+          let ratio = if b > 0.0 then c /. b else nan in
+          let gated =
+            match gate with
+            | Some g when b >= min_seconds && ratio > g ->
+                regressions := (name, b, c, ratio) :: !regressions;
+                "  << regression"
+            | _ -> ""
+          in
+          Printf.printf "  %-12s %12.3f %12.3f %9.2fx%s\n" name b c ratio gated)
+    base.experiments;
+  List.iter
+    (fun (name, c) ->
+      if not (Hashtbl.mem seen name) then
+        Printf.printf "  %-12s %12s %12.3f %10s\n" name "-" c "new")
+    cur.experiments;
+  if base.total > 0.0 then
+    Printf.printf "\n  %-12s %12.3f %12.3f %9.2fx\n" "TOTAL" base.total cur.total
+      (cur.total /. base.total);
+  match (gate, !regressions) with
+  | Some g, (_ :: _ as r) ->
+      Printf.printf "\nFAIL: %d experiment(s) regressed beyond %.2fx (noise floor %.2fs)\n"
+        (List.length r) g min_seconds;
+      exit 1
+  | Some g, [] ->
+      Printf.printf "\nOK: no experiment regressed beyond %.2fx (noise floor %.2fs)\n" g
+        min_seconds
+  | None, _ -> ()

@@ -137,16 +137,33 @@ let truncate_samples ?max_samples all =
   | Some n when n >= 0 && Array.length all > n -> Array.sub all 0 n
   | _ -> all
 
-let estimate ?pool ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visits
-    run =
+type paths_cache = string -> (unit -> Tomo.Paths.t) -> Tomo.Paths.t
+
+(* The instrumented binary — hence every per-procedure path model — depends
+   only on the workload, not on the timing config, so a path set enumerated
+   once serves the whole resolution × jitter grid.  The cache key is the
+   procedure name (prefixed for the watermarked image, whose models differ);
+   the owner of the cache closure is responsible for scoping it to one
+   (workload, enumeration-bounds) pair. *)
+let cached_paths ?paths_cache ~method_ ~key enumerate =
+  match (method_, paths_cache) with
+  | Tomo.Estimator.Em, Some cache -> Some (cache key enumerate)
+  | _ -> None
+
+let estimate ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
+    ?max_visits run =
   pmap ?pool
     (fun proc ->
       let all = List.assoc proc run.samples in
       let samples = truncate_samples ?max_samples all in
       let model = model_of run proc in
+      let paths =
+        cached_paths ?paths_cache ~method_ ~key:proc (fun () ->
+            Tomo.Paths.enumerate ?max_paths ?max_visits model)
+      in
       let estimate =
         Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
-          ?max_visits model ~samples
+          ?max_visits ?paths model ~samples
       in
       let truth = List.assoc proc run.oracle_thetas in
       let mae =
@@ -158,21 +175,27 @@ let estimate ?pool ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_v
 (* Ambiguous branches (equal-cost arms) in the coordinates of the
    probe-instrumented binary — the ones end-to-end timing cannot estimate
    without help. *)
-let ambiguous_sites ?max_paths ?max_visits run =
+let ambiguous_sites ?paths_cache ?max_paths ?max_visits run =
   List.concat_map
     (fun proc ->
       let model = model_of run proc in
-      match Tomo.Paths.enumerate ?max_paths ?max_visits model with
+      let enumerate () = Tomo.Paths.enumerate ?max_paths ?max_visits model in
+      (* These are the estimator's own models, so a cached path set is
+         shared with {!estimate} under the same key. *)
+      match
+        match paths_cache with Some cache -> cache proc enumerate | None -> enumerate ()
+      with
       | paths ->
           let id = Tomo.Identify.analyze paths in
           List.map (fun block -> (proc, block)) (Tomo.Identify.ambiguous_blocks id model)
       | exception Tomo.Paths.Too_complex _ -> [])
     run.workload.Workloads.profiled
 
-let estimate_watermarked ?pool ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
-    ?max_visits run =
-  let sites = ambiguous_sites ?max_paths ?max_visits run in
-  if sites = [] then (estimate ?pool ~method_ ?max_samples ?max_paths ?max_visits run, [])
+let estimate_watermarked ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples
+    ?max_paths ?max_visits run =
+  let sites = ambiguous_sites ?paths_cache ?max_paths ?max_visits run in
+  if sites = [] then
+    (estimate ?pool ?paths_cache ~method_ ?max_samples ?max_paths ?max_visits run, [])
   else begin
     (* Rebuild the profiling image with delay stubs on the ambiguous taken
        edges, then profile and estimate against that image's own model.
@@ -194,9 +217,15 @@ let estimate_watermarked ?pool ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_
           let all = Profilekit.Probes.samples_for sample_set proc in
           let samples = truncate_samples ?max_samples all in
           let model = Tomo.Model.of_cfg (Cfg.of_proc_name binary proc) in
+          (* The watermarked image's models differ from the plain ones, so
+             its cache entries live under a distinct key. *)
+          let paths =
+            cached_paths ?paths_cache ~method_ ~key:("watermarked:" ^ proc) (fun () ->
+                Tomo.Paths.enumerate ?max_paths ?max_visits model)
+          in
           let estimate =
             Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
-              ?max_visits model ~samples
+              ?max_visits ?paths model ~samples
           in
           let truth = Profilekit.Oracle.theta_vector oracle ~proc in
           let mae =
@@ -274,13 +303,13 @@ let worst_placement freq =
 let worst_binary run =
   placed_binary run ~profiles:run.oracle_freqs ~algorithm:worst_placement
 
-let compare_layouts ?pool ?eval_config ?(method_ = Tomo.Estimator.Em) run =
+let compare_layouts ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.Em) run =
   let eval_config =
     match eval_config with
     | Some c -> c
     | None -> { run.config with seed = run.config.seed + 1000 }
   in
-  let estimations = estimate ?pool ~method_ run in
+  let estimations = estimate ?pool ?paths_cache ~method_ run in
   let tomo_freqs = estimated_freqs run estimations in
   let natural = natural_binary run in
   let tomo =

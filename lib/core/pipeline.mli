@@ -63,8 +63,20 @@ type estimation = {
   sample_count : int;
 }
 
+type paths_cache = string -> (unit -> Tomo.Paths.t) -> Tomo.Paths.t
+(** A memo hook for enumerated path sets: [cache key enumerate] returns
+    the cached set for [key] or computes, stores and returns
+    [enumerate ()].  The instrumented binary — hence every per-procedure
+    path model — depends only on the workload, never on the timing
+    config, so one enumeration can serve an entire resolution × jitter
+    sweep.  Keys are procedure names (the watermarked profiling image
+    uses a ["watermarked:"] prefix since its models differ); the owner
+    must scope the cache to a single (workload, [max_paths],
+    [max_visits]) combination — {!Session} does exactly this. *)
+
 val estimate :
   ?pool:Par.Pool.t ->
+  ?paths_cache:paths_cache ->
   ?method_:Tomo.Estimator.method_ ->
   ?max_samples:int ->
   ?max_paths:int ->
@@ -83,13 +95,18 @@ val estimate :
     without it. *)
 
 val ambiguous_sites :
-  ?max_paths:int -> ?max_visits:int -> profile_run -> (string * int) list
+  ?paths_cache:paths_cache ->
+  ?max_paths:int ->
+  ?max_visits:int ->
+  profile_run ->
+  (string * int) list
 (** Branches whose probabilities end-to-end timing cannot determine
     (equal-cost arms), as [(procedure, branch block id)] in the
     instrumented binary's coordinates — see {!Tomo.Identify}. *)
 
 val estimate_watermarked :
   ?pool:Par.Pool.t ->
+  ?paths_cache:paths_cache ->
   ?method_:Tomo.Estimator.method_ ->
   ?max_samples:int ->
   ?max_paths:int ->
@@ -145,6 +162,7 @@ val worst_binary : profile_run -> Mote_isa.Program.t
 
 val compare_layouts :
   ?pool:Par.Pool.t ->
+  ?paths_cache:paths_cache ->
   ?eval_config:config ->
   ?method_:Tomo.Estimator.method_ ->
   profile_run ->

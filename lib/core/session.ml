@@ -17,6 +17,18 @@ type variants_key = {
   vmethod : string;
 }
 
+(* Path sets are keyed WITHOUT the timing config: the instrumented binary
+   depends only on the workload, so one enumeration serves every cell of a
+   resolution × jitter sweep.  [pkey] is the per-model key Pipeline passes
+   to the cache (procedure name, "watermarked:"-prefixed for the
+   watermarked profiling image). *)
+type paths_key = {
+  wname : string;
+  pkey : string;
+  p_max_paths : int option;
+  p_max_visits : int option;
+}
+
 type t = {
   pool : Par.Pool.t;
   owns_pool : bool;
@@ -25,6 +37,7 @@ type t = {
   profiles : (profile_key, Pipeline.profile_run) Hashtbl.t;
   estimates : (estimate_key, Pipeline.estimation list * (string * int) list) Hashtbl.t;
   variants : (variants_key, Pipeline.variant list) Hashtbl.t;
+  path_sets : (paths_key, Tomo.Paths.t) Hashtbl.t;
 }
 
 let create ?domains ?pool () =
@@ -41,6 +54,7 @@ let create ?domains ?pool () =
     profiles = Hashtbl.create 16;
     estimates = Hashtbl.create 32;
     variants = Hashtbl.create 8;
+    path_sets = Hashtbl.create 32;
   }
 
 let close t = if t.owns_pool then Par.Pool.shutdown t.pool
@@ -74,6 +88,16 @@ let memo t tbl key compute =
 let compiled t (w : Workloads.t) =
   memo t t.compilations w.Workloads.name (fun () -> Workloads.compiled w)
 
+let paths_cache t ?max_paths ?max_visits (w : Workloads.t) pkey compute =
+  memo t t.path_sets
+    {
+      wname = w.Workloads.name;
+      pkey;
+      p_max_paths = max_paths;
+      p_max_visits = max_visits;
+    }
+    compute
+
 let profile t ?(config = Pipeline.default_config) (w : Workloads.t) =
   memo t t.profiles
     { name = w.Workloads.name; config }
@@ -100,8 +124,9 @@ let estimate t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visit
   fst
     (memo t t.estimates key (fun () ->
          let run = profile t ?config w in
-         ( Pipeline.estimate ~pool:t.pool ~method_ ?max_samples ?max_paths ?max_visits
-             run,
+         ( Pipeline.estimate ~pool:t.pool
+             ~paths_cache:(paths_cache t ?max_paths ?max_visits w)
+             ~method_ ?max_samples ?max_paths ?max_visits run,
            [] )))
 
 let estimate_watermarked t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
@@ -112,8 +137,9 @@ let estimate_watermarked t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_path
   in
   memo t t.estimates key (fun () ->
       let run = profile t ?config w in
-      Pipeline.estimate_watermarked ~pool:t.pool ~method_ ?max_samples ?max_paths
-        ?max_visits run)
+      Pipeline.estimate_watermarked ~pool:t.pool
+        ~paths_cache:(paths_cache t ?max_paths ?max_visits w)
+        ~method_ ?max_samples ?max_paths ?max_visits run)
 
 let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em)
     ?(config = Pipeline.default_config) (w : Workloads.t) =
@@ -127,7 +153,8 @@ let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em)
   in
   memo t t.variants key (fun () ->
       let run = profile t ~config w in
-      Pipeline.compare_layouts ~pool:t.pool ?eval_config ~method_ run)
+      Pipeline.compare_layouts ~pool:t.pool ~paths_cache:(paths_cache t w) ?eval_config
+        ~method_ run)
 
 let clear t =
   Mutex.lock t.mutex;
@@ -135,4 +162,5 @@ let clear t =
   Hashtbl.reset t.profiles;
   Hashtbl.reset t.estimates;
   Hashtbl.reset t.variants;
+  Hashtbl.reset t.path_sets;
   Mutex.unlock t.mutex

@@ -45,6 +45,17 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 val compiled : t -> Workloads.t -> Mote_lang.Compile.t
 (** Memoized {!Workloads.compiled}. *)
 
+val paths_cache :
+  t -> ?max_paths:int -> ?max_visits:int -> Workloads.t -> Pipeline.paths_cache
+(** The session's memo hook for enumerated path sets, scoped to one
+    (workload, enumeration bounds) pair.  Keyed {e without} the timing
+    config — the instrumented binary depends only on the workload — so
+    an entire resolution × jitter sweep shares one enumeration (and one
+    canonical-signature merge) per procedure.  {!estimate},
+    {!estimate_watermarked} and {!compare_layouts} pass it to the
+    pipeline automatically; it is exposed for callers driving
+    {!Pipeline.estimate} directly. *)
+
 val profile : t -> ?config:Pipeline.config -> Workloads.t -> Pipeline.profile_run
 (** Memoized {!Pipeline.profile} keyed by workload name and config. *)
 

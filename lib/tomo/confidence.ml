@@ -13,7 +13,10 @@ let bootstrap ?(replicates = 50) ?(confidence = 0.9) ?(max_iters = 15) rng paths
   let estimates = Array.make_matrix replicates k 0.0 in
   for b = 0 to replicates - 1 do
     let resampled = Array.init n (fun _ -> samples.(Stats.Rng.int rng n)) in
-    let r = Em.estimate ~max_iters ~init:point paths ~samples:resampled in
+    let r =
+      Em.estimate ~max_iters ~init:point ~record_trajectory:false paths
+        ~samples:resampled
+    in
     Array.blit r.Em.theta 0 estimates.(b) 0 k
   done;
   let alpha = (1.0 -. confidence) /. 2.0 in

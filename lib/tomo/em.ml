@@ -16,23 +16,46 @@ let default_sigma ~resolution ~jitter =
   Stdlib.max 0.1 (sqrt (((r *. r) -. 1.0) /. 6.0 +. (2.0 *. jitter *. jitter)))
 
 let group_samples samples =
-  let tbl = Hashtbl.create 64 in
+  let n = Array.length samples in
+  let tbl = Hashtbl.create (Stdlib.max 16 n) in
   Array.iter
     (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
     samples;
-  Hashtbl.fold (fun v c acc -> (v, float_of_int c) :: acc) tbl [] |> List.sort compare
-  |> Array.of_list
+  let grouped = Array.make (Hashtbl.length tbl) (0.0, 0.0) in
+  let at = ref 0 in
+  Hashtbl.iter
+    (fun v c ->
+      grouped.(!at) <- (v, float_of_int c);
+      incr at)
+    tbl;
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) grouped;
+  grouped
 
 let clamp_theta p = Stdlib.max 1e-4 (Stdlib.min (1.0 -. 1e-4) p)
 
+(* exp x underflows to exactly +0.0 below ≈ −745.14, so dropping a path
+   whose log weight trails the per-value max by more than this changes no
+   bit of any sum the reference dense E-step would have computed. *)
+let exact_log_threshold = 746.0
+
+let half_log_two_pi = 0.5 *. log (2.0 *. Float.pi)
+
+(* Residual matrices above this many entries are recomputed on the fly
+   instead of cached (the subtraction is cheap; the cache only saves it). *)
+let max_resid_entries = 1 lsl 22
+
 let estimate ?(max_iters = 100) ?(tol = 1e-5) ?init ?(sigma = 2.0) ?(estimate_sigma = true)
-    ?(sigma_floor = 0.1) paths ~samples =
+    ?(sigma_floor = 0.1) ?(log_threshold = exact_log_threshold)
+    ?(record_trajectory = true) paths ~samples =
   if Array.length samples = 0 then invalid_arg "Em.estimate: no samples";
   let model = Paths.model paths in
   let k = Model.num_params model in
-  let pth = Paths.paths paths in
-  let np = Array.length pth in
+  let sigs = Paths.signatures paths in
+  let ns = Array.length sigs in
+  let sig_of = Paths.signature_of_path paths in
+  let np = Array.length sig_of in
   let grouped = group_samples samples in
+  let nv = Array.length grouped in
   let n_total = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 grouped in
   let theta = ref (match init with Some t -> Array.copy t | None -> Model.uniform_theta model) in
   let sigma = ref (Stdlib.max sigma_floor sigma) in
@@ -40,51 +63,104 @@ let estimate ?(max_iters = 100) ?(tol = 1e-5) ?init ?(sigma = 2.0) ?(estimate_si
   let iterations = ref 0 in
   let converged = ref false in
   let final_ll = ref neg_infinity in
-  let logw = Array.make np 0.0 in
+  (* Iteration-invariant: per-(value, signature) residuals value − cost.
+     (Only the residual is cached, not its square: σ is re-estimated every
+     iteration and the reference rounds (d/σ)·(d/σ), not d²/σ².) *)
+  let resid =
+    if nv * ns <= max_resid_entries then begin
+      let m = Array.make (nv * ns) 0.0 in
+      Array.iteri
+        (fun v (value, _) ->
+          let row = v * ns in
+          for s = 0 to ns - 1 do
+            m.(row + s) <- value -. sigs.(s).Paths.s_cost
+          done)
+        grouped;
+      Some m
+    end
+    else None
+  in
+  (* Per-signature scratch, reused across values and iterations. *)
+  let lp = Array.make ns 0.0 in
+  let lw = Array.make ns 0.0 in
+  let expw = Array.make ns 0.0 in
+  let resp = Array.make ns 0.0 in
+  let sq = Array.make ns 0.0 in
+  let eps = 1e-12 in
   while (not !converged) && !iterations < max_iters do
     incr iterations;
-    let log_prior = Paths.log_prior paths ~theta:!theta in
+    Model.check_theta model !theta;
+    let log_t = Array.map (fun p -> log (Stdlib.max eps p)) !theta in
+    let log_f = Array.map (fun p -> log (Stdlib.max eps (1.0 -. p))) !theta in
+    Paths.signature_log_prior paths ~log_t ~log_f lp;
+    let sg = !sigma in
+    let log_sigma = log sg in
     (* Accumulators for the M-step. *)
     let taken_acc = Array.make k 0.0 in
     let either_acc = Array.make k 0.0 in
     let sq_acc = ref 0.0 in
     let ll = ref 0.0 in
-    Array.iter
-      (fun (value, count) ->
-        (* E-step for one distinct observation value. *)
+    Array.iteri
+      (fun v (value, count) ->
+        (* E-step for one distinct observation value: the expensive terms
+           (log prior, Gaussian log-pdf, both exps) once per signature... *)
+        let row = v * ns in
         let best = ref neg_infinity in
-        for p = 0 to np - 1 do
-          let lw =
-            log_prior.(p)
-            +. Stats.Dist.gaussian_log_pdf ~mu:pth.(p).Paths.cost ~sigma:!sigma value
+        for s = 0 to ns - 1 do
+          let d =
+            match resid with
+            | Some m -> m.(row + s)
+            | None -> value -. sigs.(s).Paths.s_cost
           in
-          logw.(p) <- lw;
-          if lw > !best then best := lw
+          let z = d /. sg in
+          let w = lp.(s) +. ((-0.5 *. z *. z) -. log_sigma -. half_log_two_pi) in
+          lw.(s) <- w;
+          if w > !best then best := w
         done;
+        let best = !best in
+        for s = 0 to ns - 1 do
+          expw.(s) <- (if best -. lw.(s) >= log_threshold then 0.0 else exp (lw.(s) -. best))
+        done;
+        (* ...then the normalizer replayed per raw path, so the partial
+           sums round exactly as the dense per-path fold did. *)
         let z = ref 0.0 in
         for p = 0 to np - 1 do
-          z := !z +. exp (logw.(p) -. !best)
+          z := !z +. expw.(sig_of.(p))
         done;
-        let lse = !best +. log !z in
+        let lse = best +. log !z in
         ll := !ll +. (count *. lse);
-        for p = 0 to np - 1 do
-          let r = count *. exp (logw.(p) -. lse) in
+        for s = 0 to ns - 1 do
+          let r = if expw.(s) = 0.0 then 0.0 else count *. exp (lw.(s) -. lse) in
+          resp.(s) <- r;
           if r > 0.0 then begin
-            let path = pth.(p) in
-            Array.iteri
-              (fun j c ->
-                if c > 0 then begin
-                  let fc = float_of_int c in
-                  taken_acc.(j) <- taken_acc.(j) +. (r *. fc);
-                  either_acc.(j) <- either_acc.(j) +. (r *. fc)
-                end)
-              path.Paths.taken;
-            Array.iteri
-              (fun j c ->
-                if c > 0 then either_acc.(j) <- either_acc.(j) +. (r *. float_of_int c))
-              path.Paths.nottaken;
-            let d = value -. path.Paths.cost in
-            sq_acc := !sq_acc +. (r *. d *. d)
+            let d =
+              match resid with
+              | Some m -> m.(row + s)
+              | None -> value -. sigs.(s).Paths.s_cost
+            in
+            sq.(s) <- r *. d *. d
+          end
+        done;
+        (* M-step accumulation, also replayed in raw enumeration order with
+           the per-signature responsibility, iterating only nonzero branch
+           counts (the dense loop guarded on c > 0, so the terms match). *)
+        for p = 0 to np - 1 do
+          let s = sig_of.(p) in
+          let r = resp.(s) in
+          if r > 0.0 then begin
+            let entry = sigs.(s) in
+            let idx = entry.Paths.s_taken_idx and cnt = entry.Paths.s_taken_cnt in
+            for i = 0 to Array.length idx - 1 do
+              let j = idx.(i) in
+              let rf = r *. cnt.(i) in
+              taken_acc.(j) <- taken_acc.(j) +. rf;
+              either_acc.(j) <- either_acc.(j) +. rf
+            done;
+            let idx = entry.Paths.s_nottaken_idx and cnt = entry.Paths.s_nottaken_cnt in
+            for i = 0 to Array.length idx - 1 do
+              either_acc.(idx.(i)) <- either_acc.(idx.(i)) +. (r *. cnt.(i))
+            done;
+            sq_acc := !sq_acc +. sq.(s)
           end
         done)
       grouped;
@@ -102,7 +178,7 @@ let estimate ?(max_iters = 100) ?(tol = 1e-5) ?init ?(sigma = 2.0) ?(estimate_si
     theta := new_theta;
     sigma := new_sigma;
     final_ll := !ll;
-    trajectory := (Array.copy new_theta, !ll) :: !trajectory;
+    if record_trajectory then trajectory := (Array.copy new_theta, !ll) :: !trajectory;
     if delta < tol then converged := true
   done;
   {

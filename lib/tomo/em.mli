@@ -8,7 +8,15 @@
     probability as its expected traversal fraction and (optionally) the
     noise scale.  Observations are grouped by value first — quantized
     timings repeat heavily, making iterations O(distinct values × paths)
-    instead of O(samples × paths). *)
+    instead of O(samples × paths).
+
+    The kernels run over the {e canonical} path set ({!Paths.signatures}):
+    log priors, Gaussian terms and responsibilities are evaluated once per
+    merged signature (with residuals precomputed across iterations and the
+    per-iteration constants of the Gaussian log-pdf hoisted), while the
+    cheap accumulator additions are replayed in raw enumeration order via
+    {!Paths.signature_of_path}.  The result is bit-for-bit identical to
+    the dense per-path reference at the default [log_threshold]. *)
 
 type result = {
   theta : float array;
@@ -18,7 +26,8 @@ type result = {
   converged : bool;
   trajectory : (float array * float) list;
       (** (θ, log-likelihood) after each iteration, oldest first — feeds
-          the convergence figure F7. *)
+          the convergence figure F7.  Empty when the estimate was run with
+          [record_trajectory:false]. *)
 }
 
 val estimate :
@@ -28,14 +37,36 @@ val estimate :
   ?sigma:float ->
   ?estimate_sigma:bool ->
   ?sigma_floor:float ->
+  ?log_threshold:float ->
+  ?record_trajectory:bool ->
   Paths.t ->
   samples:float array ->
   result
 (** Defaults: 100 iterations, tolerance 1e-5 on max |Δθ|, uniform θ init,
     initial σ 2.0 (cycles), σ re-estimated with floor 0.1.
+
+    [log_threshold] drops signatures whose log weight trails the
+    per-value maximum by more than this before exponentiating.  The
+    default ({!exact_log_threshold}) only drops terms whose [exp]
+    underflows to exactly 0.0, so it changes no result bit; smaller
+    values trade exactness for speed.
+
+    [record_trajectory] (default true) controls whether the per-iteration
+    (θ, log-likelihood) trajectory is kept.  Hot callers that never read
+    it (bench sweeps, {!Windowed}, {!Planner}, {!Confidence}) pass false
+    to skip one θ copy per iteration.
     @raise Invalid_argument on empty samples. *)
+
+val exact_log_threshold : float
+(** The largest [log_threshold] that is a provable no-op: beyond it,
+    [exp] underflows to +0.0 and the dropped terms never reached any
+    accumulator of the dense reference either. *)
 
 val default_sigma : resolution:int -> jitter:float -> float
 (** Noise scale implied by the timer configuration for a {e differenced}
     pair of timestamps: √((resolution²−1)/6 + 2·jitter²), floored at
     0.1. *)
+
+val group_samples : float array -> (float * float) array
+(** Group samples by exact value into (value, count) pairs sorted
+    ascending — the E-step's unit of work.  Exposed for benchmarks. *)

@@ -16,8 +16,8 @@ type t = {
 let by_block model theta =
   Array.to_list (Array.mapi (fun k id -> (id, theta.(k))) (Model.param_blocks model))
 
-let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters model
-    ~samples =
+let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters ?paths
+    model ~samples =
   match method_ with
   | Naive ->
       let theta = Model.uniform_theta model in
@@ -42,8 +42,16 @@ let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters m
         truncated_paths = false;
       }
   | Em ->
-      let paths = Paths.enumerate ?max_paths ?max_visits model in
-      let r = Em.estimate ?max_iters ~sigma:noise_sigma paths ~samples in
+      let paths =
+        match paths with
+        | Some p -> p
+        | None -> Paths.enumerate ?max_paths ?max_visits model
+      in
+      (* The estimator surfaces no trajectory, so don't record one. *)
+      let r =
+        Em.estimate ?max_iters ~sigma:noise_sigma ~record_trajectory:false paths
+          ~samples
+      in
       {
         method_;
         theta = r.Em.theta;

@@ -29,10 +29,14 @@ val run :
   ?max_paths:int ->
   ?max_visits:int ->
   ?max_iters:int ->
+  ?paths:Paths.t ->
   Model.t ->
   samples:float array ->
   t
-(** Defaults: EM, noise σ from a unit-resolution jitter-free timer. *)
+(** Defaults: EM, noise σ from a unit-resolution jitter-free timer.
+    [~paths] supplies a pre-enumerated (typically session-cached) path
+    set for the EM method, skipping re-enumeration; it must belong to
+    the same model.  Ignored by the other methods. *)
 
 val run_many :
   ?pool:Par.Pool.t ->

@@ -3,11 +3,89 @@ module Isa = Mote_isa.Isa
 
 type path = { cost : float; taken : int array; nottaken : int array }
 
-type t = { model : Model.t; paths : path array; truncated : bool }
+type signature = {
+  s_cost : float;
+  s_weight : int;
+  s_taken_idx : int array;
+  s_taken_cnt : float array;
+  s_nottaken_idx : int array;
+  s_nottaken_cnt : float array;
+}
+
+type t = {
+  model : Model.t;
+  paths : path array;
+  truncated : bool;
+  signatures : signature array;
+  signature_of_path : int array;
+}
 
 exception Too_complex of string
 
 let penalty = float_of_int Isa.taken_penalty
+
+(* Sparse view of a dense count vector: indices ascending, so estimator
+   kernels that iterate it accumulate in exactly the order the dense loop
+   would have. *)
+let sparsify counts =
+  let nnz = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 counts in
+  let idx = Array.make nnz 0 in
+  let cnt = Array.make nnz 0.0 in
+  let at = ref 0 in
+  Array.iteri
+    (fun j c ->
+      if c > 0 then begin
+        idx.(!at) <- j;
+        cnt.(!at) <- float_of_int c;
+        incr at
+      end)
+    counts;
+  (idx, cnt)
+
+(* Merge raw paths with identical (cost, taken, nottaken) into weighted
+   canonical entries, in first-occurrence order.  Posterior responsibilities
+   of merged paths are proportional, so estimators may work per signature —
+   the raw array (and [signature_of_path]) is kept so they can still fold
+   per-path quantities in enumeration order when exact summation order
+   matters. *)
+let canonicalize paths =
+  let np = Array.length paths in
+  let tbl = Hashtbl.create (2 * np) in
+  let sig_of = Array.make np 0 in
+  let reps = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun p path ->
+      let key = (path.cost, path.taken, path.nottaken) in
+      match Hashtbl.find_opt tbl key with
+      | Some s -> sig_of.(p) <- s
+      | None ->
+          let s = !next in
+          incr next;
+          Hashtbl.add tbl key s;
+          sig_of.(p) <- s;
+          reps := p :: !reps)
+    paths;
+  let ns = !next in
+  let rep = Array.make ns 0 in
+  List.iter (fun p -> rep.(sig_of.(p)) <- p) !reps;
+  let weight = Array.make ns 0 in
+  Array.iter (fun s -> weight.(s) <- weight.(s) + 1) sig_of;
+  let signatures =
+    Array.init ns (fun s ->
+        let path = paths.(rep.(s)) in
+        let s_taken_idx, s_taken_cnt = sparsify path.taken in
+        let s_nottaken_idx, s_nottaken_cnt = sparsify path.nottaken in
+        {
+          s_cost = path.cost;
+          s_weight = weight.(s);
+          s_taken_idx;
+          s_taken_cnt;
+          s_nottaken_idx;
+          s_nottaken_cnt;
+        })
+  in
+  (signatures, sig_of)
 
 let enumerate ?(max_paths = 4096) ?(max_visits = 12) model =
   let cfg = Model.cfg model in
@@ -56,11 +134,16 @@ let enumerate ?(max_paths = 4096) ?(max_visits = 12) model =
       (Too_complex
          (Printf.sprintf "no complete path within %d paths / %d visits" max_paths
             max_visits));
-  { model; paths = Array.of_list (List.rev !acc); truncated = !truncated }
+  let paths = Array.of_list (List.rev !acc) in
+  let signatures, signature_of_path = canonicalize paths in
+  { model; paths; truncated = !truncated; signatures; signature_of_path }
 
 let model t = t.model
 let paths t = t.paths
 let truncated t = t.truncated
+let signatures t = t.signatures
+let signature_of_path t = t.signature_of_path
+let num_signatures t = Array.length t.signatures
 
 let log_prior t ~theta =
   Model.check_theta t.model theta;
@@ -74,6 +157,21 @@ let log_prior t ~theta =
       Array.iteri (fun p c -> acc := !acc +. (float_of_int c *. log_f.(p))) path.nottaken;
       !acc)
     t.paths
+
+let signature_log_prior t ~log_t ~log_f out =
+  Array.iteri
+    (fun s sg ->
+      let acc = ref 0.0 in
+      let idx = sg.s_taken_idx and cnt = sg.s_taken_cnt in
+      for i = 0 to Array.length idx - 1 do
+        acc := !acc +. (cnt.(i) *. log_t.(idx.(i)))
+      done;
+      let idx = sg.s_nottaken_idx and cnt = sg.s_nottaken_cnt in
+      for i = 0 to Array.length idx - 1 do
+        acc := !acc +. (cnt.(i) *. log_f.(idx.(i)))
+      done;
+      out.(s) <- !acc)
+    t.signatures
 
 let prior_mass t ~theta =
   log_prior t ~theta |> Array.fold_left (fun acc lp -> acc +. exp lp) 0.0

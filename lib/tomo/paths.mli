@@ -7,12 +7,31 @@
     ([max_visits]) and the total number of paths ([max_paths]); the EM
     estimator renormalizes over the enumerated set.  [truncated] reports
     whether anything was cut off — with geometrically-decaying loop
-    probabilities the missing mass is the geometric tail. *)
+    probabilities the missing mass is the geometric tail.
+
+    Besides the raw path array, enumeration builds the {e canonical} path
+    set: paths with identical [(cost, taken, nottaken)] signatures merged
+    into one weighted entry whose branch counts are stored sparsely (CSR
+    style — index/count pairs for the nonzero entries only).  Loop bodies
+    whose inner branches permute across iterations collapse combinatorially
+    (e.g. 4096 raw paths → a couple hundred signatures), and every merged
+    path has, by construction, the same prior and the same likelihood under
+    any (θ, σ) — so estimators can evaluate priors, Gaussian terms and
+    responsibilities once per signature instead of once per path. *)
 
 type path = {
   cost : float;  (** Exact window cost along this path. *)
   taken : int array;  (** Per parameter: times the branch was taken. *)
   nottaken : int array;
+}
+
+type signature = {
+  s_cost : float;  (** Shared window cost of the merged paths. *)
+  s_weight : int;  (** How many raw paths carry this signature. *)
+  s_taken_idx : int array;  (** Params with taken count > 0, ascending. *)
+  s_taken_cnt : float array;  (** Counts aligned with [s_taken_idx]. *)
+  s_nottaken_idx : int array;
+  s_nottaken_cnt : float array;
 }
 
 type t
@@ -27,8 +46,28 @@ val model : t -> Model.t
 val paths : t -> path array
 val truncated : t -> bool
 
+val signatures : t -> signature array
+(** Canonical (merged) path set, in first-occurrence order. *)
+
+val signature_of_path : t -> int array
+(** Raw path index → index into {!signatures}.  Kernels that must
+    reproduce a per-path fold bit-for-bit (the EM reference semantics)
+    replay cheap per-path accumulations through this map while computing
+    the expensive per-signature terms only once. *)
+
+val num_signatures : t -> int
+
 val log_prior : t -> theta:float array -> float array
 (** Per-path log probability under θ (not renormalized). *)
+
+val signature_log_prior :
+  t -> log_t:float array -> log_f:float array -> float array -> unit
+(** [signature_log_prior t ~log_t ~log_f out] fills [out] (length
+    {!num_signatures}) with each signature's log prior given per-parameter
+    log θ / log (1−θ) vectors, iterating only the sparse nonzero counts.
+    Terms accumulate in ascending parameter order — taken then nottaken —
+    which matches the dense {!log_prior} fold bit-for-bit (the dense
+    loop's zero-count terms add ±0.0, an exact no-op). *)
 
 val prior_mass : t -> theta:float array -> float
 (** Total probability of the enumerated set — 1 minus truncation loss. *)

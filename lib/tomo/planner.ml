@@ -8,7 +8,7 @@ type plan = {
 let plan ?(replicates = 40) rng paths ~samples ~target_se =
   if Array.length samples = 0 then invalid_arg "Planner.plan: no samples";
   if target_se <= 0.0 then invalid_arg "Planner.plan: target must be positive";
-  let point = (Em.estimate paths ~samples).Em.theta in
+  let point = (Em.estimate ~record_trajectory:false paths ~samples).Em.theta in
   let k = Array.length point in
   let n = Array.length samples in
   let current_se =
@@ -18,7 +18,10 @@ let plan ?(replicates = 40) rng paths ~samples ~target_se =
       let acc = Array.init k (fun _ -> Stats.Summary.create ()) in
       for _ = 1 to replicates do
         let resampled = Array.init n (fun _ -> samples.(Stats.Rng.int rng n)) in
-        let r = Em.estimate ~max_iters:15 ~init:point paths ~samples:resampled in
+        let r =
+          Em.estimate ~max_iters:15 ~init:point ~record_trajectory:false paths
+            ~samples:resampled
+        in
         Array.iteri (fun j v -> Stats.Summary.add acc.(j) v) r.Em.theta
       done;
       Array.fold_left (fun worst s -> Stdlib.max worst (Stats.Summary.stddev s)) 0.0 acc

@@ -38,7 +38,10 @@ let estimate ?(window_size = 200) ?(max_iters = 40) ?sigma paths ~samples =
     List.mapi
       (fun index (s, finish) ->
         let chunk = Array.sub samples s (finish - s) in
-        let r = Em.estimate ~max_iters ~init:!prev ?sigma paths ~samples:chunk in
+        let r =
+          Em.estimate ~max_iters ~init:!prev ?sigma ~record_trajectory:false paths
+            ~samples:chunk
+        in
         let drift =
           if index = 0 then 0.0
           else if Array.length r.Em.theta = 0 then 0.0

@@ -15,6 +15,7 @@ let () =
       ("node", Test_node.suite);
       ("profilekit", Test_profilekit.suite);
       ("tomo", Test_tomo.suite);
+      ("em_kernels", Test_em_kernels.suite);
       ("layout", Test_layout.suite);
       ("workloads", Test_workloads.suite);
       ("report", Test_report.suite);

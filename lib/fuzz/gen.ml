@@ -1,0 +1,264 @@
+(* Sized random program generator over the checked Mote_lang fragment.
+
+   Every program this module emits must satisfy Mote_lang.Check by
+   construction — the differential oracles treat a check or compile
+   failure as a finding, not noise.  The invariants that make that true:
+
+   - names: variables are drawn from the scope that is actually in force
+     (params + locals + globals); arrays and callees from the program's
+     own tables; helper i may only call helpers 0..i-1, so the call graph
+     is acyclic by construction;
+   - termination: every [While] owns a dedicated counter local ("k0",
+     "k1", ... by loop-nesting level) that only the loop's own trailer
+     increments and nothing else ever assigns, against a bound of at most
+     [loop_mask], so trip counts are statically bounded (the machine's
+     fuel can never run out);
+   - memory safety: array indices are always masked with [size - 1]
+     (sizes are powers of two), so no generated program can fault on a
+     wild address;
+   - [Break] is only emitted inside a loop body;
+   - expressions are depth-bounded well inside the compiler's register
+     budget, with call arguments kept shallow.
+
+   Deliberately excluded from the fragment: [Timer_now].  The observable
+   the oracles compare is architectural state + device traces, and the
+   timer exposes cycle counts, which optimization and relayout both
+   legitimately change. *)
+
+open Mote_lang.Ast
+
+type config = {
+  max_depth : int;
+  stmts_per_block : int;
+  max_helpers : int;
+  max_arrays : int;
+  loop_mask : int;
+  size : int;
+}
+
+let default_config =
+  { max_depth = 3; stmts_per_block = 3; max_helpers = 2; max_arrays = 2;
+    loop_mask = 7; size = 110 }
+
+let task_name = "fz_task"
+
+let array_size = 8 (* power of two: indices are masked with [size - 1] *)
+
+type scope = {
+  rvars : string array;  (* readable: params + data locals + counters + globals *)
+  wvars : string array;  (* assignable: data locals + globals, never counters *)
+  arrays : string array;
+  callees : (string * int) array;  (* (name, arity), acyclic by construction *)
+}
+
+let counter_name level = "k" ^ string_of_int level
+
+let arith_ops = [| Add; Sub; Mul; BAnd; BOr; BXor; Shl; Shr |]
+let rel_ops = [| Req; Rne; Rlt; Rle; Rgt; Rge |]
+
+(* The budget makes generation "sized": every node spends one unit, and an
+   exhausted budget forces leaves/empty blocks, so program size is bounded
+   by [config.size] per procedure regardless of how the depth dice fall. *)
+let spend budget = decr budget
+
+let rec gen_expr rng scope budget depth =
+  spend budget;
+  let leaf () =
+    match Stats.Rng.int rng 8 with
+    | 0 | 1 -> Int (Stats.Rng.int rng 256 - 128)
+    | 2 -> Read_sensor (Stats.Rng.int rng 2)
+    | 3 -> Radio_rx
+    | _ -> Var (Stats.Rng.choose rng scope.rvars)
+  in
+  if depth <= 0 || !budget <= 0 then leaf ()
+  else
+    match Stats.Rng.int rng 10 with
+    | 0 | 1 | 2 -> leaf ()
+    | 3 | 4 | 5 ->
+        Bin
+          ( Stats.Rng.choose rng arith_ops,
+            gen_expr rng scope budget (depth - 1),
+            gen_expr rng scope budget (depth - 1) )
+    | 6 ->
+        Rel
+          ( Stats.Rng.choose rng rel_ops,
+            gen_expr rng scope budget (depth - 1),
+            gen_expr rng scope budget (depth - 1) )
+    | 7 when Array.length scope.arrays > 0 ->
+        let a = Stats.Rng.choose rng scope.arrays in
+        Arr_get (a, masked_index rng scope budget)
+    | 8 when Array.length scope.callees > 0 ->
+        let f, arity = Stats.Rng.choose rng scope.callees in
+        Call_fn (f, List.init arity (fun _ -> gen_expr rng scope budget 1))
+    | _ -> Not (gen_expr rng scope budget (depth - 1))
+
+and masked_index rng scope budget =
+  Bin (BAnd, gen_expr rng scope budget 1, Int (array_size - 1))
+
+(* Conditions mix sensor-driven comparisons (stochastic branches — the
+   estimator's subject) with short-circuit combinations over them. *)
+let rec gen_cond rng scope budget depth =
+  spend budget;
+  let atom () =
+    let lhs =
+      if Stats.Rng.bool rng then Read_sensor (Stats.Rng.int rng 2)
+      else gen_expr rng scope budget 1
+    in
+    let rhs =
+      if Stats.Rng.bool rng then Int (200 + Stats.Rng.int rng 600)
+      else gen_expr rng scope budget 1
+    in
+    Rel (Stats.Rng.choose rng rel_ops, lhs, rhs)
+  in
+  if depth <= 0 || !budget <= 0 then atom ()
+  else
+    match Stats.Rng.int rng 6 with
+    | 0 -> And (gen_cond rng scope budget (depth - 1), gen_cond rng scope budget (depth - 1))
+    | 1 -> Or (gen_cond rng scope budget (depth - 1), gen_cond rng scope budget (depth - 1))
+    | 2 -> Not (gen_cond rng scope budget (depth - 1))
+    | _ -> atom ()
+
+let rec gen_stmt cfg rng scope budget ~depth ~loop_level ~in_loop =
+  spend budget;
+  let assign () =
+    Assign (Stats.Rng.choose rng scope.wvars, gen_expr rng scope budget 2)
+  in
+  if depth <= 0 || !budget <= 0 then [ assign () ]
+  else
+    match Stats.Rng.int rng 12 with
+    | 0 | 1 | 2 -> [ assign () ]
+    | 3 ->
+        [ If
+            ( gen_cond rng scope budget 1,
+              gen_block cfg rng scope budget ~depth:(depth - 1) ~loop_level ~in_loop,
+              [] ) ]
+    | 4 ->
+        [ If
+            ( gen_cond rng scope budget 1,
+              gen_block cfg rng scope budget ~depth:(depth - 1) ~loop_level ~in_loop,
+              gen_block cfg rng scope budget ~depth:(depth - 1) ~loop_level ~in_loop ) ]
+    | 5 | 6 ->
+        (* Bounded loop: the counter is reset just before, incremented only
+           by the trailer, and assignable by nothing else (it is not in
+           [wvars]), so the trip count is at most the bound. *)
+        let k = counter_name loop_level in
+        let mask = max 1 cfg.loop_mask in
+        let bound =
+          if Stats.Rng.bool rng then Int (1 + Stats.Rng.int rng mask)
+          else Bin (BAnd, Read_sensor (Stats.Rng.int rng 2), Int mask)
+        in
+        let body =
+          gen_block cfg rng scope budget ~depth:(depth - 1)
+            ~loop_level:(loop_level + 1) ~in_loop:true
+        in
+        [ Assign (k, Int 0);
+          While (Rel (Rlt, Var k, bound), body @ [ Assign (k, Bin (Add, Var k, Int 1)) ]) ]
+    | 7 when Array.length scope.arrays > 0 ->
+        let a = Stats.Rng.choose rng scope.arrays in
+        [ Arr_set (a, masked_index rng scope budget, gen_expr rng scope budget 2) ]
+    | 8 when Array.length scope.callees > 0 ->
+        let f, arity = Stats.Rng.choose rng scope.callees in
+        [ Call (f, List.init arity (fun _ -> gen_expr rng scope budget 1)) ]
+    | 9 -> [ Radio_tx (gen_expr rng scope budget 1) ]
+    | 10 when in_loop ->
+        [ If (gen_cond rng scope budget 0, [ Break ], []) ]
+    | _ -> [ Led (gen_expr rng scope budget 1) ]
+
+and gen_block cfg rng scope budget ~depth ~loop_level ~in_loop =
+  (* max 1: a zero stmts_per_block config still generates (cf. the same
+     guard in Workloads.Generator, which a zero config used to crash). *)
+  let n = 1 + Stats.Rng.int rng (max 1 cfg.stmts_per_block) in
+  List.concat
+    (List.init n (fun _ -> gen_stmt cfg rng scope budget ~depth ~loop_level ~in_loop))
+
+let counters cfg = List.init (cfg.max_depth + 1) counter_name
+
+let gen_helper cfg rng ~globals ~arrays ~callees index =
+  let name = "helper" ^ string_of_int index in
+  let arity = Stats.Rng.int rng 3 in
+  let params = List.init arity (fun i -> "p" ^ string_of_int i) in
+  let locals = [ "x"; "y" ] @ counters cfg in
+  let scope =
+    {
+      rvars = Array.of_list (params @ [ "x"; "y" ] @ globals);
+      wvars = Array.of_list ([ "x"; "y" ] @ globals);
+      arrays = Array.of_list arrays;
+      callees = Array.of_list callees;
+    }
+  in
+  let budget = ref (cfg.size / 2) in
+  let depth = Stdlib.min 2 cfg.max_depth in
+  let body =
+    gen_block cfg rng scope budget ~depth ~loop_level:0 ~in_loop:false
+    @ [ Return (Some (gen_expr rng scope budget 2)) ]
+  in
+  ({ name; params; locals; body }, (name, arity))
+
+let program ?(config = default_config) rng =
+  let globals = [ "out"; "g0"; "g1" ] in
+  let global_inits =
+    List.map (fun g -> (g, Stats.Rng.int rng 100)) globals
+  in
+  let n_arrays = Stats.Rng.int rng (config.max_arrays + 1) in
+  let arrays = List.init n_arrays (fun i -> ("arr" ^ string_of_int i, array_size)) in
+  let array_names = List.map fst arrays in
+  let n_helpers = Stats.Rng.int rng (config.max_helpers + 1) in
+  let helpers, _ =
+    List.fold_left
+      (fun (procs, callees) i ->
+        let p, sig_ =
+          gen_helper config rng ~globals ~arrays:array_names ~callees i
+        in
+        (procs @ [ p ], callees @ [ sig_ ]))
+      ([], [])
+      (List.init n_helpers Fun.id)
+  in
+  let callees = List.map (fun p -> (p.name, List.length p.params)) helpers in
+  let data_locals = [ "a"; "b"; "c" ] in
+  let scope =
+    {
+      rvars = Array.of_list (data_locals @ globals);
+      wvars = Array.of_list (data_locals @ globals);
+      arrays = Array.of_list array_names;
+      callees = Array.of_list callees;
+    }
+  in
+  let budget = ref config.size in
+  (* Open with a forced conditional so no generated task is branch-free —
+     a straight-line task would leave the estimator nothing to do. *)
+  let forced =
+    If
+      ( gen_cond rng scope budget 1,
+        gen_block config rng scope budget ~depth:0 ~loop_level:0 ~in_loop:false,
+        gen_block config rng scope budget ~depth:0 ~loop_level:0 ~in_loop:false )
+  in
+  let body =
+    (forced
+    :: gen_block config rng scope budget ~depth:config.max_depth ~loop_level:0
+         ~in_loop:false)
+    @ [ Assign ("out", Bin (Add, Var "out", Var "a")) ]
+  in
+  let task =
+    { name = task_name; params = []; locals = data_locals @ counters config; body }
+  in
+  { globals = global_inits; arrays; procs = helpers @ [ task ] }
+
+let stmt_count program =
+  let rec stmts s =
+    1
+    + (match s with
+      | If (_, a, b) -> List.fold_left (fun n s -> n + stmts s) 0 (a @ b)
+      | While (_, b) -> List.fold_left (fun n s -> n + stmts s) 0 b
+      | _ -> 0)
+  in
+  List.fold_left
+    (fun n p -> n + List.fold_left (fun n s -> n + stmts s) 0 p.body)
+    0 program.procs
+
+let env_config ~seed =
+  {
+    Env.seed;
+    channels =
+      [ (0, Env.Gaussian { mu = 512.0; sigma = 150.0 }); (1, Env.Uniform (0, 1023)) ];
+    radio = Env.Silent;
+  }

@@ -1,0 +1,43 @@
+(** Sized random program generator over the checked {!Mote_lang} fragment.
+
+    Programs are generated from an explicit {!Stats.Rng.t} so every case
+    is replayable from a single seed (the runner derives one stream per
+    case with {!Stats.Rng.stream}).  By construction the output always
+    passes {!Mote_lang.Check}, terminates within the machine's fuel
+    (loops own dedicated bounded counters), and never faults (array
+    indices are masked) — so any check/compile/fault error on a generated
+    program is a bug in the toolchain, not in the input.
+
+    [Timer_now] is deliberately outside the generated fragment: it
+    observes cycle counts, which optimization and relayout legitimately
+    change, so it cannot appear in programs whose observable behaviour
+    the oracles compare. *)
+
+type config = {
+  max_depth : int;  (** If/while nesting bound. *)
+  stmts_per_block : int;
+  max_helpers : int;  (** Callee procedures besides the task (acyclic). *)
+  max_arrays : int;
+  loop_mask : int;  (** Loop trip-count bound (use 2^k − 1). *)
+  size : int;  (** Node budget — the "size" of sized generation. *)
+}
+
+val default_config : config
+
+val task_name : string
+(** Name of the entry procedure of every generated program
+    (["fz_task"]). *)
+
+val array_size : int
+(** All generated arrays have this (power-of-two) size; indices are
+    masked with [array_size - 1]. *)
+
+val program : ?config:config -> Stats.Rng.t -> Mote_lang.Ast.program
+
+val stmt_count : Mote_lang.Ast.program -> int
+(** Statements in all procedure bodies, counted recursively — the
+    size metric test-case shrinking minimizes. *)
+
+val env_config : seed:int -> Env.config
+(** Stochastic environment for executing generated programs: Gaussian
+    channel 0, uniform channel 1, silent radio. *)

@@ -1,0 +1,545 @@
+(* The four differential oracles.
+
+   Each oracle takes one generated program (plus its own RNG stream where
+   it needs randomness) and returns a verdict.  Failures carry a message
+   precise enough to act on without re-running; skips name the structural
+   reason a case carries no signal (no branch parameters, truncated path
+   set, ...) so the runner can report skip rates — a quietly-skipping
+   oracle is itself a bug. *)
+
+module Ast = Mote_lang.Ast
+module Check = Mote_lang.Check
+module Compile = Mote_lang.Compile
+module Optimize = Mote_lang.Optimize
+module Isa = Mote_isa.Isa
+module Asm = Mote_isa.Asm
+module Program = Mote_isa.Program
+module Machine = Mote_machine.Machine
+module Devices = Mote_machine.Devices
+module Cfg = Cfgir.Cfg
+module Probes = Profilekit.Probes
+
+type verdict = Pass | Skip of string | Fail of string
+
+type params = {
+  invocations : int;
+  placement_rounds : int;
+  em_invocations : int;
+  max_paths : int;
+  max_visits : int;
+  em_max_iters : int;
+  walk_samples : int;
+  conv_max_paths : int;
+  conv_max_visits : int;
+  enum_steps : int;
+  conv_samples : int array;
+  conv_tol : float;
+  conv_slack : float;
+}
+
+let default_params =
+  {
+    invocations = 24;
+    placement_rounds = 3;
+    em_invocations = 48;
+    max_paths = 512;
+    max_visits = 6;
+    em_max_iters = 12;
+    walk_samples = 4000;
+    conv_max_paths = 8192;
+    conv_max_visits = 10;
+    enum_steps = 2_000_000;
+    conv_samples = [| 60; 240; 960 |];
+    conv_tol = 0.12;
+    conv_slack = 0.05;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Observable machine state.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a mote program can externally affect, plus the persistent
+   data state: globals, the task frame, arrays, the radio TX log and the
+   LED port.  Cycle/instruction statistics are deliberately *not* part of
+   the observation — optimization and relayout change them by design; the
+   rewrite oracle checks its own layout-invariant combinations of them
+   separately. *)
+type observation = {
+  vars : (string * int) list;  (** Globals, then the task frame. *)
+  arrays : (string * int array) list;
+  tx : int list;
+  leds : int;
+  led_writes : int;
+  stats : Machine.stats;
+}
+
+let frame_vars (c : Compile.t) proc =
+  match List.assoc_opt proc c.frames with
+  | Some frame -> List.map fst frame
+  | None -> []
+
+(* Run [binary] against a fresh environment seeded with [env_seed]:
+   [__init] once, then [invocations] invocations of the task.  [c] only
+   supplies the symbol tables used to read state back — the binary may be
+   an optimized, instrumented or rewritten variant, as long as it keeps
+   the same data layout (none of the passes under test move data). *)
+let observe ~env_seed ~invocations (c : Compile.t) binary =
+  let devices = Devices.create () in
+  let env = Env.create (Gen.env_config ~seed:env_seed) in
+  Env.attach env devices;
+  let m = Machine.create ~program:binary ~devices () in
+  match
+    ignore (Machine.run_proc m Compile.init_proc_name);
+    for _ = 1 to invocations do
+      ignore (Machine.run_proc m Gen.task_name)
+    done
+  with
+  | exception Machine.Fault msg -> Error (Printf.sprintf "machine fault: %s" msg)
+  | exception Not_found -> Error "task procedure missing from binary"
+  | () ->
+      let read_var proc name =
+        (name, Machine.read_mem m (Compile.var_address c ~proc name))
+      in
+      let vars =
+        List.map (fun (g, _) -> read_var Gen.task_name g) c.global_addrs
+        @ List.map (read_var Gen.task_name) (frame_vars c Gen.task_name)
+      in
+      let arrays =
+        List.map
+          (fun (a, base) ->
+            (a, Array.init Gen.array_size (fun i -> Machine.read_mem m (base + i))))
+          c.array_addrs
+      in
+      Ok
+        {
+          vars;
+          arrays;
+          tx = Devices.tx_log devices;
+          leds = Devices.leds devices;
+          led_writes = Devices.led_writes devices;
+          stats = Machine.stats m;
+        }
+
+let pp_ints l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+(* All observable differences between two runs, as human-readable lines.
+   Compares by name so the two observations need not list state in the
+   same order. *)
+let diff_observations ~left ~right a b =
+  let out = ref [] in
+  let emit fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun (name, va) ->
+      match List.assoc_opt name b.vars with
+      | None -> emit "var %s missing on %s side" name right
+      | Some vb ->
+          if va <> vb then emit "var %s: %s=%d %s=%d" name left va right vb)
+    a.vars;
+  List.iter
+    (fun (name, va) ->
+      match List.assoc_opt name b.arrays with
+      | None -> emit "array %s missing on %s side" name right
+      | Some vb ->
+          if va <> vb then
+            emit "array %s: %s=%s %s=%s" name left
+              (pp_ints (Array.to_list va))
+              right
+              (pp_ints (Array.to_list vb)))
+    a.arrays;
+  if a.tx <> b.tx then
+    emit "radio tx log: %s=%s %s=%s" left (pp_ints a.tx) right (pp_ints b.tx);
+  if a.leds <> b.leds then emit "leds: %s=%d %s=%d" left a.leds right b.leds;
+  if a.led_writes <> b.led_writes then
+    emit "led writes: %s=%d %s=%d" left a.led_writes right b.led_writes;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 1: source-level optimization preserves observables.         *)
+(* ------------------------------------------------------------------ *)
+
+let optimize p ~env_seed (ast : Ast.program) (c_src : Compile.t) =
+  let opt_ast = Optimize.program ast in
+  match Compile.compile opt_ast with
+  | exception Invalid_argument msg ->
+      Fail (Printf.sprintf "optimized program no longer compiles: %s" msg)
+  | c_opt -> (
+      let run c = observe ~env_seed ~invocations:p.invocations c c.Compile.program in
+      match (run c_src, run c_opt) with
+      | Error msg, Error _ ->
+          (* Both faulting means the generator emitted a faulting program —
+             its own invariant violation, reported as such. *)
+          Fail (Printf.sprintf "generated program faults: %s" msg)
+      | Error msg, Ok _ -> Fail (Printf.sprintf "unoptimized run faults: %s" msg)
+      | Ok _, Error msg -> Fail (Printf.sprintf "optimized run faults: %s" msg)
+      | Ok a, Ok b -> (
+          match diff_observations ~left:"plain" ~right:"optimized" a b with
+          | [] -> Pass
+          | diffs ->
+              Fail
+                ("optimize changed observable behaviour:\n  "
+                ^ String.concat "\n  " diffs)))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 2: relayout preserves execution and timing semantics.       *)
+(* ------------------------------------------------------------------ *)
+
+(* What a placement change may NOT alter.  From the CT16 cost model,
+   cycles = Σ base costs + taken_penalty · (taken conditional branches +
+   jumps + calls + returns), and a rewrite only (a) reorders blocks,
+   (b) flips branch polarity, (c) inserts/deletes bridging Jmps.  So the
+   conditional-branch, call and return counts, the instruction count net
+   of jumps, and the cycle count net of all penalties and jump base costs
+   are placement-invariant. *)
+type layout_invariant = {
+  li_cond_branches : int;
+  li_calls : int;
+  li_returns : int;
+  li_instructions_sans_jumps : int;
+  li_cycles_sans_transfers : int;
+}
+
+let layout_invariant (s : Machine.stats) =
+  {
+    li_cond_branches = s.cond_branches;
+    li_calls = s.calls;
+    li_returns = s.returns;
+    li_instructions_sans_jumps = s.instructions - s.unconditional_transfers;
+    li_cycles_sans_transfers =
+      s.cycles
+      - (Isa.taken_penalty * (s.taken_cond_branches + s.unconditional_transfers))
+      - (Isa.base_cost (Isa.Jmp 0) * s.unconditional_transfers);
+  }
+
+let diff_invariants a b =
+  let out = ref [] in
+  let emit fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let check name f =
+    if f a <> f b then emit "%s: natural=%d rewritten=%d" name (f a) (f b)
+  in
+  check "conditional branches" (fun i -> i.li_cond_branches);
+  check "calls" (fun i -> i.li_calls);
+  check "returns" (fun i -> i.li_returns);
+  check "instructions - jumps" (fun i -> i.li_instructions_sans_jumps);
+  check "cycles - transfer penalties - jump costs" (fun i ->
+      i.li_cycles_sans_transfers);
+  List.rev !out
+
+(* A random placement per procedure: entry pinned at position 0, the rest
+   shuffled.  Procedures with fewer than three blocks admit only the
+   identity and are left alone. *)
+let random_placements rng binary =
+  List.filter_map
+    (fun (pi : Program.proc_info) ->
+      let cfg = Cfg.of_proc binary pi in
+      let n = Cfg.num_blocks cfg in
+      if n < 3 then None
+      else begin
+        let rest = Array.init (n - 1) (fun i -> i + 1) in
+        Stats.Rng.shuffle rng rest;
+        Some (pi.Program.name, Array.append [| 0 |] rest)
+      end)
+    (Program.procs binary)
+
+let probe_counts samples =
+  List.map (fun (proc, arr) -> (proc, Array.length arr)) samples
+  |> List.sort compare
+
+let run_instrumented ~env_seed ~invocations instrumented =
+  let devices = Devices.create () in
+  let env = Env.create (Gen.env_config ~seed:env_seed) in
+  Env.attach env devices;
+  let m = Machine.create ~program:instrumented ~devices () in
+  match
+    ignore (Machine.run_proc m Compile.init_proc_name);
+    for _ = 1 to invocations do
+      ignore (Machine.run_proc m Gen.task_name)
+    done
+  with
+  | exception Machine.Fault msg -> Error (Printf.sprintf "machine fault: %s" msg)
+  | exception Not_found -> Error "task procedure missing from binary"
+  | () -> (
+      match Probes.collect ~program:instrumented ~devices with
+      | exception Probes.Unbalanced msg ->
+          Error (Printf.sprintf "unbalanced probe log: %s" msg)
+      | samples -> Ok (samples, Devices.tx_log devices))
+
+let rewrite p rng ~env_seed (c : Compile.t) =
+  let binary = c.Compile.program in
+  let instrumented = Asm.assemble (Probes.instrument c.Compile.items) in
+  match observe ~env_seed ~invocations:p.invocations c binary with
+  | Error msg -> Fail (Printf.sprintf "natural-layout run faults: %s" msg)
+  | Ok base -> (
+      match run_instrumented ~env_seed ~invocations:p.invocations instrumented with
+      | Error msg -> Fail (Printf.sprintf "instrumented natural run: %s" msg)
+      | Ok (base_samples, base_tx) ->
+          let base_inv = layout_invariant base.stats in
+          let rec rounds round =
+            if round > p.placement_rounds then Pass
+            else begin
+              let placements = random_placements rng binary in
+              let instr_placements = random_placements rng instrumented in
+              if placements = [] && instr_placements = [] then Pass
+                (* every procedure is <3 blocks; nothing to vary *)
+              else
+                let rewritten = Layout.Rewrite.program binary ~placements in
+                match observe ~env_seed ~invocations:p.invocations c rewritten with
+                | Error msg ->
+                    Fail
+                      (Printf.sprintf "round %d: rewritten run faults: %s" round msg)
+                | Ok rw -> (
+                    match diff_observations ~left:"natural" ~right:"rewritten" base rw with
+                    | _ :: _ as diffs ->
+                        Fail
+                          (Printf.sprintf
+                             "round %d: rewrite changed observable behaviour:\n  %s"
+                             round
+                             (String.concat "\n  " diffs))
+                    | [] -> (
+                        match diff_invariants base_inv (layout_invariant rw.stats) with
+                        | _ :: _ as diffs ->
+                            Fail
+                              (Printf.sprintf
+                                 "round %d: rewrite broke a layout invariant:\n  %s"
+                                 round
+                                 (String.concat "\n  " diffs))
+                        | [] -> (
+                            let rw_instr =
+                              Layout.Rewrite.program instrumented
+                                ~placements:instr_placements
+                            in
+                            match
+                              run_instrumented ~env_seed ~invocations:p.invocations
+                                rw_instr
+                            with
+                            | Error msg ->
+                                Fail
+                                  (Printf.sprintf
+                                     "round %d: instrumented rewritten run: %s" round
+                                     msg)
+                            | Ok (rw_samples, rw_tx) ->
+                                if rw_tx <> base_tx then
+                                  Fail
+                                    (Printf.sprintf
+                                       "round %d: instrumented rewrite changed tx \
+                                        log: natural=%s rewritten=%s"
+                                       round (pp_ints base_tx) (pp_ints rw_tx))
+                                else if
+                                  probe_counts rw_samples <> probe_counts base_samples
+                                then
+                                  Fail
+                                    (Printf.sprintf
+                                       "round %d: rewrite changed probe sample \
+                                        counts: natural=%s rewritten=%s"
+                                       round
+                                       (String.concat ","
+                                          (List.map
+                                             (fun (p, n) -> Printf.sprintf "%s:%d" p n)
+                                             (probe_counts base_samples)))
+                                       (String.concat ","
+                                          (List.map
+                                             (fun (p, n) -> Printf.sprintf "%s:%d" p n)
+                                             (probe_counts rw_samples))))
+                                else rounds (round + 1))))
+            end
+          in
+          rounds 1)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 3: sparse EM kernels agree with the dense reference.        *)
+(* ------------------------------------------------------------------ *)
+
+let hex = Printf.sprintf "%h"
+
+let diff_results (a : Tomo.Em.result) (b : Tomo.Em.result) =
+  let out = ref [] in
+  let emit fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  if Array.length a.theta <> Array.length b.theta then
+    emit "theta arity: sparse=%d dense=%d" (Array.length a.theta)
+      (Array.length b.theta)
+  else
+    Array.iteri
+      (fun j ta ->
+        let tb = b.theta.(j) in
+        if hex ta <> hex tb then
+          emit "theta.(%d): sparse=%s dense=%s" j (hex ta) (hex tb))
+      a.theta;
+  if hex a.sigma <> hex b.sigma then
+    emit "sigma: sparse=%s dense=%s" (hex a.sigma) (hex b.sigma);
+  if a.iterations <> b.iterations then
+    emit "iterations: sparse=%d dense=%d" a.iterations b.iterations;
+  if hex a.log_likelihood <> hex b.log_likelihood then
+    emit "log-likelihood: sparse=%s dense=%s" (hex a.log_likelihood)
+      (hex b.log_likelihood);
+  if a.converged <> b.converged then
+    emit "converged: sparse=%b dense=%b" a.converged b.converged;
+  if List.length a.trajectory <> List.length b.trajectory then
+    emit "trajectory length: sparse=%d dense=%d" (List.length a.trajectory)
+      (List.length b.trajectory)
+  else
+    List.iteri
+      (fun i ((ta, la), (tb, lb)) ->
+        let theta_eq =
+          Array.length ta = Array.length tb
+          && Array.for_all2 (fun x y -> hex x = hex y) ta tb
+        in
+        if (not theta_eq) || hex la <> hex lb then
+          emit "trajectory step %d differs" i)
+      (List.combine a.trajectory b.trajectory);
+  List.rev !out
+
+let em_agreement p ~env_seed (c : Compile.t) =
+  let instrumented = Asm.assemble (Probes.instrument c.Compile.items) in
+  match run_instrumented ~env_seed ~invocations:p.em_invocations instrumented with
+  | Error msg -> Fail (Printf.sprintf "instrumented run: %s" msg)
+  | Ok (sample_set, _) -> (
+      let samples = Probes.samples_for sample_set Gen.task_name in
+      if Array.length samples = 0 then Skip "no probe samples collected"
+      else
+        let cfg = Cfg.of_proc_name instrumented Gen.task_name in
+        let model = Tomo.Model.of_cfg cfg in
+        if Tomo.Model.num_params model = 0 then Skip "no branch parameters"
+        else
+          match
+            Tomo.Paths.enumerate ~max_paths:p.max_paths ~max_visits:p.max_visits
+              ~max_steps:p.enum_steps model
+          with
+          | exception Tomo.Paths.Too_complex msg ->
+              Skip (Printf.sprintf "path enumeration: %s" msg)
+          | paths -> (
+              let sparse =
+                Tomo.Em.estimate ~max_iters:p.em_max_iters ~record_trajectory:true
+                  paths ~samples
+              in
+              let dense =
+                Tomo.Em.Dense.estimate ~max_iters:p.em_max_iters
+                  ~record_trajectory:true paths ~samples
+              in
+              match diff_results sparse dense with
+              | [] -> Pass
+              | diffs ->
+                  Fail
+                    ("sparse EM diverged from the dense reference:\n  "
+                    ^ String.concat "\n  " diffs)))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 4: estimates converge to random-walk ground truth.          *)
+(* ------------------------------------------------------------------ *)
+
+(* The estimator needs a tractable path set; large tasks (20+ branch
+   parameters under nested loops) structurally exceed any enumeration
+   bound.  Try the task first, then each helper — a case only skips when
+   no procedure of the program carries recoverable signal. *)
+let convergence_candidates (c : Compile.t) p =
+  List.filter_map
+    (fun (pi : Program.proc_info) ->
+      if pi.Program.name = Compile.init_proc_name then None
+      else
+        let cfg = Cfg.of_proc c.Compile.program pi in
+        let model = Tomo.Model.of_cfg ~call_residual:0 ~window_correction:0 cfg in
+        if Tomo.Model.num_params model = 0 then None
+        else
+          match
+            Tomo.Paths.enumerate ~max_paths:p.conv_max_paths
+              ~max_visits:p.conv_max_visits ~max_steps:p.enum_steps model
+          with
+          | exception Tomo.Paths.Too_complex _ -> None
+          | paths -> Some (pi.Program.name, cfg, model, paths))
+    (Program.procs c.Compile.program)
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) ->
+         (* task first, then helpers in name order *)
+         compare (a <> Gen.task_name, a) (b <> Gen.task_name, b))
+
+
+let convergence p rng (c : Compile.t) =
+  let theta_rng = Stats.Rng.split rng in
+  let walk_rng = Stats.Rng.split rng in
+  let sample_rng = Stats.Rng.split rng in
+  (* Judge one candidate procedure; [None] means it carries no signal
+     (truncated mass, every parameter ambiguous/unexercised) and the next
+     candidate should be tried. *)
+  let try_candidate (_name, cfg, model, paths) =
+    let k = Tomo.Model.num_params model in
+    let theta_true =
+      Array.init k (fun _ -> 0.2 +. Stats.Rng.float theta_rng 0.6)
+    in
+    if
+      Tomo.Paths.truncated paths
+      && Tomo.Paths.prior_mass paths ~theta:theta_true < 0.995
+    then None
+    else
+      let ambiguous = (Tomo.Identify.analyze paths).Tomo.Identify.ambiguous in
+      let chain = Tomo.Model.chain model ~theta:theta_true in
+      match
+        Markov.Walk.edge_counts walk_rng chain ~start:0 ~samples:p.walk_samples
+          ~max_steps:200_000
+      with
+      | exception Failure _ -> None
+      | counts ->
+          let param_blocks = Tomo.Model.param_blocks model in
+          (* Ground-truth taken frequency per parameter, weighted by how
+             often the walks exercised the branch.  Parameters whose branch
+             is cost-ambiguous, never visited, or whose two targets
+             coincide carry no signal and get weight 0. *)
+          let freq = Array.make k 0.0 and weight = Array.make k 0.0 in
+          Array.iteri
+            (fun j b ->
+              match (Cfg.block cfg b).Cfg.term with
+              | Cfg.T_branch (_, tb, fb) when tb <> fb && not ambiguous.(j) ->
+                  let t = float_of_int counts.(b).(tb)
+                  and f = float_of_int counts.(b).(fb) in
+                  if t +. f > 0.0 then begin
+                    freq.(j) <- t /. (t +. f);
+                    weight.(j) <- t +. f
+                  end
+              | _ -> ())
+            param_blocks;
+          let total_weight = Array.fold_left ( +. ) 0.0 weight in
+          if total_weight = 0.0 then None
+          else
+            let error n =
+              let samples =
+                Tomo.Paths.sample_costs sample_rng paths ~theta:theta_true ~n
+              in
+              let r =
+                Tomo.Em.estimate ~max_iters:80 ~record_trajectory:false paths
+                  ~samples
+              in
+              let acc = ref 0.0 in
+              Array.iteri
+                (fun j w ->
+                  acc := !acc +. (w *. Float.abs (r.theta.(j) -. freq.(j))))
+                weight;
+              !acc /. total_weight
+            in
+            let errors = Array.map error p.conv_samples in
+            let last = errors.(Array.length errors - 1) in
+            let first = errors.(0) in
+            let pp_errors () =
+              String.concat ", "
+                (Array.to_list
+                   (Array.mapi
+                      (fun i n -> Printf.sprintf "n=%d err=%.4f" n errors.(i))
+                      p.conv_samples))
+            in
+            if last > p.conv_tol then
+              Some
+                (Fail
+                   (Printf.sprintf
+                      "estimate did not converge to walk ground truth in %s: %s \
+                       (tolerance %.3f)"
+                      _name (pp_errors ()) p.conv_tol))
+            else if last > first +. p.conv_slack then
+              Some
+                (Fail
+                   (Printf.sprintf "error grew with sample size in %s: %s (slack %.3f)"
+                      _name (pp_errors ()) p.conv_slack))
+            else Some Pass
+  in
+  let rec first_usable = function
+    | [] -> Skip "no procedure with identifiable, untruncated branch signal"
+    | cand :: rest -> (
+        match try_candidate cand with Some v -> v | None -> first_usable rest)
+  in
+  match convergence_candidates c p with
+  | [] -> Skip "no procedure with a tractable branch-parameter path set"
+  | candidates -> first_usable candidates

@@ -1,0 +1,178 @@
+(* Greedy test-case minimization.
+
+   [minimize] repeatedly tries one-step reductions of a failing program —
+   dropping statements, splicing conditional arms and loop bodies in place
+   of the construct, dropping whole procedures / globals / arrays /
+   locals, and replacing expressions by constants or their own
+   subexpressions — and commits the first reduction that still checks and
+   still fails.  Every candidate has strictly fewer AST nodes than its
+   parent, so the walk terminates; [max_evals] additionally bounds the
+   predicate budget (each evaluation typically re-runs a machine-level
+   oracle) and the best program so far is returned when it runs out.
+
+   Validity is delegated to {!Mote_lang.Check}: reductions are generated
+   syntactically without regard to scoping (dropping a called procedure,
+   a referenced global, a loop around a [Break]...) and invalid ones are
+   simply discarded.  That keeps the candidate generator honest — it can
+   never "fix" a program into a different finding by reintroducing
+   well-formedness by hand. *)
+
+open Mote_lang.Ast
+
+(* One-step reductions of an expression: collapse to a constant, promote a
+   subexpression, or reduce inside one operand.  Atoms reduce to nothing. *)
+let rec shrink_expr e =
+  let sub1 f a = List.map f (shrink_expr a) in
+  let sub2 f a b =
+    List.map (fun a' -> f a' b) (shrink_expr a)
+    @ List.map (fun b' -> f a b') (shrink_expr b)
+  in
+  match e with
+  | Int _ | Var _ | Read_sensor _ | Radio_rx | Timer_now -> []
+  | Bin (op, a, b) ->
+      [ Int 0; a; b ] @ sub2 (fun a b -> Bin (op, a, b)) a b
+  | Rel (op, a, b) ->
+      [ Int 0; Int 1; a; b ] @ sub2 (fun a b -> Rel (op, a, b)) a b
+  | And (a, b) -> [ Int 0; Int 1; a; b ] @ sub2 (fun a b -> And (a, b)) a b
+  | Or (a, b) -> [ Int 0; Int 1; a; b ] @ sub2 (fun a b -> Or (a, b)) a b
+  | Not a -> [ Int 0; Int 1; a ] @ sub1 (fun a -> Not a) a
+  | Arr_get (arr, i) -> [ Int 0; i ] @ sub1 (fun i -> Arr_get (arr, i)) i
+  | Call_fn (f, args) ->
+      (Int 0 :: args)
+      @ List.concat
+          (List.mapi
+             (fun i a ->
+               List.map
+                 (fun a' ->
+                   Call_fn (f, List.mapi (fun j b -> if i = j then a' else b) args))
+                 (shrink_expr a))
+             args)
+
+(* In-place replacements of one statement (always one-for-one; the
+   splicing reductions that change list length live in [shrink_block]). *)
+let rec shrink_stmt s =
+  let e1 f a = List.map f (shrink_expr a) in
+  match s with
+  | Assign (x, e) -> e1 (fun e -> Assign (x, e)) e
+  | Arr_set (a, i, v) ->
+      e1 (fun i -> Arr_set (a, i, v)) i @ e1 (fun v -> Arr_set (a, i, v)) v
+  | If (c, t, f) ->
+      e1 (fun c -> If (c, t, f)) c
+      @ List.map (fun t -> If (c, t, f)) (shrink_block t)
+      @ List.map (fun f -> If (c, t, f)) (shrink_block f)
+  | While (c, b) ->
+      e1 (fun c -> While (c, b)) c
+      @ List.map (fun b -> While (c, b)) (shrink_block b)
+  | Break -> []
+  | Call (f, args) ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+             List.map
+               (fun a' ->
+                 Call (f, List.mapi (fun j b -> if i = j then a' else b) args))
+               (shrink_expr a))
+           args)
+  | Radio_tx e -> e1 (fun e -> Radio_tx e) e
+  | Led e -> e1 (fun e -> Led e) e
+  | Return (Some e) -> Return None :: e1 (fun e -> Return (Some e)) e
+  | Return None -> []
+
+(* Reductions of a statement list, coarsest first: drop a statement,
+   splice a construct's body in its place, then rewrite one statement. *)
+and shrink_block block =
+  let n = List.length block in
+  let without i = List.filteri (fun j _ -> j <> i) block in
+  let replace_with i repl =
+    List.concat (List.mapi (fun j s -> if i = j then repl else [ s ]) block)
+  in
+  let drops = List.init n without in
+  let splices =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match s with
+           | If (_, t, f) ->
+               let arms = if f = [] then [ t ] else [ t; f ] in
+               List.map (replace_with i) arms
+           | While (_, b) -> [ replace_with i b ]
+           | _ -> [])
+         block)
+  in
+  let rewrites =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (fun s' -> replace_with i [ s' ]) (shrink_stmt s))
+         block)
+  in
+  drops @ splices @ rewrites
+
+let shrink_program (p : program) =
+  let without l i = List.filteri (fun j _ -> j <> i) l in
+  let drop_procs =
+    List.init (List.length p.procs) (fun i -> { p with procs = without p.procs i })
+  in
+  let drop_globals =
+    List.init (List.length p.globals) (fun i ->
+        { p with globals = without p.globals i })
+  in
+  let drop_arrays =
+    List.init (List.length p.arrays) (fun i ->
+        { p with arrays = without p.arrays i })
+  in
+  let drop_locals =
+    List.concat
+      (List.mapi
+         (fun i proc ->
+           List.init (List.length proc.locals) (fun l ->
+               let proc' = { proc with locals = without proc.locals l } in
+               {
+                 p with
+                 procs = List.mapi (fun j q -> if i = j then proc' else q) p.procs;
+               }))
+         p.procs)
+  in
+  let body_shrinks =
+    List.concat
+      (List.mapi
+         (fun i proc ->
+           List.map
+             (fun body ->
+               {
+                 p with
+                 procs =
+                   List.mapi
+                     (fun j q -> if i = j then { proc with body } else q)
+                     p.procs;
+               })
+             (shrink_block proc.body))
+         p.procs)
+  in
+  drop_procs @ drop_arrays @ drop_globals @ drop_locals @ body_shrinks
+
+type stats = { steps : int; evals : int }
+
+let minimize ?(max_evals = 2000) ~still_fails program =
+  let evals = ref 0 and steps = ref 0 in
+  let ok q =
+    match Mote_lang.Check.program q with
+    | Error _ -> false (* invalid reductions are free to discard *)
+    | Ok () ->
+        incr evals;
+        still_fails q
+  in
+  let rec go p =
+    if !evals >= max_evals then p
+    else
+      match
+        List.find_opt
+          (fun q -> !evals < max_evals && ok q)
+          (shrink_program p)
+      with
+      | Some q ->
+          incr steps;
+          go q
+      | None -> p
+  in
+  let reduced = go program in
+  (reduced, { steps = !steps; evals = !evals })

@@ -1,0 +1,27 @@
+(** Greedy minimization of failing programs.
+
+    Tries one-step reductions (drop a statement, splice an arm or loop
+    body in place of its construct, drop a procedure / global / array /
+    local, replace an expression by a constant or one of its own
+    subexpressions) and commits the first that still passes
+    {!Mote_lang.Check} and still satisfies the failure predicate, until a
+    fixpoint or the evaluation budget.  Every reduction strictly shrinks
+    the AST, so termination needs no fuel. *)
+
+type stats = {
+  steps : int;  (** Committed reductions. *)
+  evals : int;  (** Failure-predicate evaluations spent. *)
+}
+
+val minimize :
+  ?max_evals:int ->
+  still_fails:(Mote_lang.Ast.program -> bool) ->
+  Mote_lang.Ast.program ->
+  Mote_lang.Ast.program * stats
+(** [minimize ~still_fails p] assumes [p] itself fails; the result is a
+    (locally) minimal program that still fails.  [still_fails] is only
+    ever called on programs that pass {!Mote_lang.Check}.  Default
+    [max_evals] is 2000. *)
+
+val shrink_program : Mote_lang.Ast.program -> Mote_lang.Ast.program list
+(** All one-step reductions, coarsest first — exposed for tests. *)

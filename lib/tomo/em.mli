@@ -70,3 +70,27 @@ val default_sigma : resolution:int -> jitter:float -> float
 val group_samples : float array -> (float * float) array
 (** Group samples by exact value into (value, count) pairs sorted
     ascending — the E-step's unit of work.  Exposed for benchmarks. *)
+
+(** The dense per-path reference implementation — the estimator exactly as
+    it existed before the sparse-kernel rewrite, kept alive as the oracle
+    the optimized kernels are differentially tested against (both by
+    [test/test_em_kernels.ml] and by the fuzzer's EM oracle).  Same
+    mixture model, same clamping, same convergence rule; every per-path
+    term is evaluated densely, so it is slow but unarguable.  At the
+    default [log_threshold] the optimized {!estimate} must agree with this
+    bit-for-bit. *)
+module Dense : sig
+  val estimate :
+    ?max_iters:int ->
+    ?tol:float ->
+    ?init:float array ->
+    ?sigma:float ->
+    ?estimate_sigma:bool ->
+    ?sigma_floor:float ->
+    ?record_trajectory:bool ->
+    Paths.t ->
+    samples:float array ->
+    result
+  (** Defaults match {!estimate}.  @raise Invalid_argument on empty
+      samples. *)
+end

@@ -87,7 +87,7 @@ let canonicalize paths =
   in
   (signatures, sig_of)
 
-let enumerate ?(max_paths = 4096) ?(max_visits = 12) model =
+let enumerate ?(max_paths = 4096) ?(max_visits = 12) ?max_steps model =
   let cfg = Model.cfg model in
   let n = Cfg.num_blocks cfg in
   let k = Model.num_params model in
@@ -97,12 +97,19 @@ let enumerate ?(max_paths = 4096) ?(max_visits = 12) model =
   let acc = ref [] in
   let count = ref 0 in
   let truncated = ref false in
+  let steps = ref 0 in
+  let step_budget = Option.value max_steps ~default:max_int in
   (* DFS carrying the running cost.  Mutable count arrays are restored on
-     the way out, so the whole walk allocates only completed paths. *)
+     the way out, so the whole walk allocates only completed paths.  The
+     step budget bounds *work*, not output: on CFGs where almost every
+     partial path dies against [max_visits], exponentially many dead ends
+     can separate completed paths, and without the cap enumeration would
+     effectively never return. *)
   let rec walk id cost =
-    if !count >= max_paths then truncated := true
+    if !count >= max_paths || !steps >= step_budget then truncated := true
     else if visits.(id) >= max_visits then truncated := true
     else begin
+      incr steps;
       visits.(id) <- visits.(id) + 1;
       let cost = cost +. Model.block_cost model id in
       (match (Cfg.block cfg id).Cfg.term with

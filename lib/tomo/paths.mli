@@ -39,8 +39,14 @@ type t
 exception Too_complex of string
 (** Raised when not even one complete path fits within the bounds. *)
 
-val enumerate : ?max_paths:int -> ?max_visits:int -> Model.t -> t
-(** Defaults: 4096 paths, 12 visits per block. *)
+val enumerate : ?max_paths:int -> ?max_visits:int -> ?max_steps:int -> Model.t -> t
+(** Defaults: 4096 paths, 12 visits per block, unbounded steps.
+    [max_steps] caps the number of DFS block expansions — the {e work} of
+    enumeration, where [max_paths] only caps its {e output}.  On CFGs
+    whose partial paths overwhelmingly die against [max_visits],
+    exponentially many dead ends separate completed paths and an
+    unbounded search effectively never returns; hitting the cap marks the
+    result truncated (or raises {!Too_complex} if no path completed). *)
 
 val model : t -> Model.t
 val paths : t -> path array

@@ -62,17 +62,23 @@ let rec gen_stmt cfg rng vars depth =
             gen_block cfg rng vars (depth - 1) )
     | 4 ->
         (* Bounded counting loop with a data-dependent early exit flavour:
-           trip count from a sensor read masked to the loop bound. *)
-        let k = "k" ^ string_of_int depth in
-        ignore k;
+           trip count from a sensor read masked to the loop bound.  The
+           bound is clamped at 0 so a pathological config cannot produce a
+           negative mask (16-bit BAnd with a negative would let the loop
+           run for up to 32767 iterations). *)
         While
-          ( Rel (Rlt, Var "loop_k", Bin (BAnd, Read_sensor 0, Int cfg.loop_bound)),
+          ( Rel
+              (Rlt, Var "loop_k", Bin (BAnd, Read_sensor 0, Int (max 0 cfg.loop_bound))),
             gen_block cfg rng vars (depth - 1)
             @ [ Assign ("loop_k", Bin (Add, Var "loop_k", Int 1)) ] )
     | _ -> Radio_tx (gen_expr rng vars 1)
 
 and gen_block cfg rng vars depth =
-  List.init (1 + Stats.Rng.int rng cfg.stmts_per_block) (fun _ ->
+  (* [max 1] keeps [stmts_per_block = 0] configs generating (one statement
+     per block) instead of crashing on a non-positive Rng bound; for every
+     valid config it is the identity, so the random stream — and with it
+     every golden that consumes generated programs — is unchanged. *)
+  List.init (1 + Stats.Rng.int rng (max 1 cfg.stmts_per_block)) (fun _ ->
       gen_stmt cfg rng vars depth)
 
 let generate ?(config = default_config) () =

@@ -25,4 +25,5 @@ let () =
       ("network", Test_network.suite);
       ("binary", Test_binary.suite);
       ("energy", Test_energy.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -25,96 +25,13 @@ let check_theta name expected actual =
   Alcotest.(check int) (name ^ " arity") (Array.length expected) (Array.length actual);
   Array.iteri (fun j e -> check_float (Printf.sprintf "%s theta[%d]" name j) e actual.(j)) expected
 
-(* --- dense reference: the pre-optimization estimator, verbatim --- *)
+(* The dense reference now lives in the library ({!Tomo.Em.Dense}) so the
+   differential fuzzer and these tests exercise the same implementation. *)
 
-let reference_estimate ?(max_iters = 100) ?(tol = 1e-5) ?init ?(sigma = 2.0)
-    ?(estimate_sigma = true) ?(sigma_floor = 0.1) paths ~samples =
-  let module Paths = Tomo.Paths in
-  let module Model = Tomo.Model in
-  let group_samples samples =
-    let tbl = Hashtbl.create 64 in
-    Array.iter
-      (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
-      samples;
-    Hashtbl.fold (fun v c acc -> (v, float_of_int c) :: acc) tbl []
-    |> List.sort compare |> Array.of_list
-  in
-  let clamp_theta p = Stdlib.max 1e-4 (Stdlib.min (1.0 -. 1e-4) p) in
-  if Array.length samples = 0 then invalid_arg "Em.estimate: no samples";
-  let model = Paths.model paths in
-  let k = Model.num_params model in
-  let pth = Paths.paths paths in
-  let np = Array.length pth in
-  let grouped = group_samples samples in
-  let n_total = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 grouped in
-  let theta = ref (match init with Some t -> Array.copy t | None -> Model.uniform_theta model) in
-  let sigma = ref (Stdlib.max sigma_floor sigma) in
-  let iterations = ref 0 in
-  let converged = ref false in
-  let final_ll = ref neg_infinity in
-  let logw = Array.make np 0.0 in
-  while (not !converged) && !iterations < max_iters do
-    incr iterations;
-    let log_prior = Paths.log_prior paths ~theta:!theta in
-    let taken_acc = Array.make k 0.0 in
-    let either_acc = Array.make k 0.0 in
-    let sq_acc = ref 0.0 in
-    let ll = ref 0.0 in
-    Array.iter
-      (fun (value, count) ->
-        let best = ref neg_infinity in
-        for p = 0 to np - 1 do
-          let lw =
-            log_prior.(p)
-            +. Stats.Dist.gaussian_log_pdf ~mu:pth.(p).Tomo.Paths.cost ~sigma:!sigma value
-          in
-          logw.(p) <- lw;
-          if lw > !best then best := lw
-        done;
-        let z = ref 0.0 in
-        for p = 0 to np - 1 do
-          z := !z +. exp (logw.(p) -. !best)
-        done;
-        let lse = !best +. log !z in
-        ll := !ll +. (count *. lse);
-        for p = 0 to np - 1 do
-          let r = count *. exp (logw.(p) -. lse) in
-          if r > 0.0 then begin
-            let path = pth.(p) in
-            Array.iteri
-              (fun j c ->
-                if c > 0 then begin
-                  let fc = float_of_int c in
-                  taken_acc.(j) <- taken_acc.(j) +. (r *. fc);
-                  either_acc.(j) <- either_acc.(j) +. (r *. fc)
-                end)
-              path.Tomo.Paths.taken;
-            Array.iteri
-              (fun j c ->
-                if c > 0 then either_acc.(j) <- either_acc.(j) +. (r *. float_of_int c))
-              path.Tomo.Paths.nottaken;
-            let d = value -. path.Tomo.Paths.cost in
-            sq_acc := !sq_acc +. (r *. d *. d)
-          end
-        done)
-      grouped;
-    let new_theta =
-      Array.init k (fun j ->
-          if either_acc.(j) <= 0.0 then !theta.(j) else clamp_theta (taken_acc.(j) /. either_acc.(j)))
-    in
-    let new_sigma =
-      if estimate_sigma then Stdlib.max sigma_floor (sqrt (!sq_acc /. n_total)) else !sigma
-    in
-    let delta =
-      Array.mapi (fun j v -> abs_float (v -. !theta.(j))) new_theta
-      |> Array.fold_left Stdlib.max 0.0
-    in
-    theta := new_theta;
-    sigma := new_sigma;
-    final_ll := !ll;
-    if delta < tol then converged := true
-  done;
-  (!theta, !sigma, !iterations, !final_ll, !converged)
+let reference_estimate ?max_iters paths ~samples =
+  let r = Tomo.Em.Dense.estimate ?max_iters paths ~samples in
+  (r.Tomo.Em.theta, r.Tomo.Em.sigma, r.Tomo.Em.iterations, r.Tomo.Em.log_likelihood,
+   r.Tomo.Em.converged)
 
 (* --- golden values captured from the dense reference --- *)
 

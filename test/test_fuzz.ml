@@ -1,0 +1,471 @@
+(* The fuzz subsystem (lib/fuzz) and the directed edge-case coverage that
+   rode along with it: corpus replay on every test run, generator and
+   shrinker properties, campaign determinism across job counts, Mote_os
+   Network/Energy edge cases, and Layout.Rewrite on degenerate
+   placements. *)
+
+module Gen = Fuzz.Gen
+module Shrink = Fuzz.Shrink
+module Runner = Fuzz.Runner
+module Ast = Mote_lang.Ast
+module Check = Mote_lang.Check
+module Compile = Mote_lang.Compile
+module Isa = Mote_isa.Isa
+module Asm = Mote_isa.Asm
+module Machine = Mote_machine.Machine
+module Devices = Mote_machine.Devices
+module Node = Mote_os.Node
+module Network = Mote_os.Network
+module Energy = Mote_os.Energy
+module Cfg = Cfgir.Cfg
+module Placement = Layout.Placement
+module Rewrite = Layout.Rewrite
+
+(* --- corpus replay: every committed finding stays fixed --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_corpus_replay () =
+  (* cwd is test/ under `dune runtest`, the project root under
+     `dune exec test/main.exe`. *)
+  let dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus has entries" true (List.length files >= 5);
+  List.iter
+    (fun file ->
+      let entry =
+        try Runner.parse_corpus (read_file (Filename.concat dir file))
+        with Runner.Corpus_error msg -> Alcotest.failf "%s: %s" file msg
+      in
+      match Runner.replay entry with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" file msg)
+    files
+
+(* --- generator: everything it emits must check and compile --- *)
+
+let test_generator_always_checks () =
+  for seed = 1 to 40 do
+    let rng = Stats.Rng.stream ~seed ~index:0 in
+    let p = Gen.program rng in
+    (match Check.program p with
+    | Ok () -> ()
+    | Error msgs -> Alcotest.failf "seed %d: %s" seed (String.concat "; " msgs));
+    ignore (Compile.compile p)
+  done
+
+let test_workloads_degenerate_configs () =
+  (* Regression sweep for the Workloads.Generator fixes: zero-wide blocks
+     used to crash Rng.int, negative loop bounds used to emit a
+     sign-extended mask that defeated the loop bound. *)
+  List.iter
+    (fun (stmts_per_block, loop_bound) ->
+      for seed = 1 to 10 do
+        let config =
+          { Workloads.Generator.seed; max_depth = 2; stmts_per_block; loop_bound }
+        in
+        let p = Workloads.Generator.generate ~config () in
+        match Check.program p with
+        | Ok () -> ignore (Compile.compile p)
+        | Error msgs ->
+            Alcotest.failf "sp=%d lb=%d seed %d: %s" stmts_per_block loop_bound
+              seed (String.concat "; " msgs)
+      done)
+    [ (0, 4); (1, 0); (2, -7); (0, -1) ]
+
+(* --- shrinker --- *)
+
+open Ast.Dsl
+
+let rec stmt_has_send = function
+  | Ast.Radio_tx _ -> true
+  | Ast.If (_, t, e) ->
+      List.exists stmt_has_send t || List.exists stmt_has_send e
+  | Ast.While (_, b) -> List.exists stmt_has_send b
+  | _ -> false
+
+let has_send (p : Ast.program) =
+  List.exists (fun pr -> List.exists stmt_has_send pr.Ast.body) p.Ast.procs
+
+let bulky_program =
+  {
+    Ast.globals = [ ("g", 3); ("h", 0) ];
+    arrays = [ ("buf", 4) ];
+    procs =
+      [
+        proc "helper" ~params:[ "x" ] ~locals:[] [ return (v "x" +: i 1) ];
+        proc "fz_task" ~params:[] ~locals:[ "a" ]
+          [
+            set "a" (fn "helper" [ v "g" ]);
+            if_ (v "a" >: i 2)
+              [ set "g" (v "g" +: i 1); set_at "buf" (i 1) (v "a") ]
+              [ set "h" (i 5) ];
+            while_ (v "h" <: i 3) [ set "h" (v "h" +: i 1) ];
+            send (v "g" +: v "h");
+          ];
+      ];
+  }
+
+let test_shrink_minimizes_to_send () =
+  (match Check.program bulky_program with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "fixture: %s" (String.concat "; " msgs));
+  let reduced, stats = Shrink.minimize ~still_fails:has_send bulky_program in
+  Alcotest.(check bool) "reduced still has send" true (has_send reduced);
+  (match Check.program reduced with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "reduced invalid: %s" (String.concat "; " msgs));
+  Alcotest.(check int) "one proc left" 1 (List.length reduced.Ast.procs);
+  Alcotest.(check int) "one statement left" 1 (Gen.stmt_count reduced);
+  Alcotest.(check bool) "shrinking made progress" true (stats.Shrink.steps > 0)
+
+let size_of (p : Ast.program) =
+  (* Statements plus declarations: every one-step reduction must strictly
+     reduce this measure or the statement count. *)
+  Gen.stmt_count p
+  + List.length p.Ast.globals
+  + List.length p.Ast.arrays
+  + List.length p.Ast.procs
+  + List.fold_left (fun acc pr -> acc + List.length pr.Ast.locals) 0 p.Ast.procs
+
+let test_shrink_candidates_strictly_smaller () =
+  let rec expr_size = function
+    | Ast.Int _ | Ast.Var _ | Ast.Read_sensor _ | Ast.Radio_rx | Ast.Timer_now
+      ->
+        1
+    | Ast.Bin (_, a, b) | Ast.Rel (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+        1 + expr_size a + expr_size b
+    | Ast.Not a -> 1 + expr_size a
+    | Ast.Call_fn (_, args) -> 1 + List.fold_left (fun s e -> s + expr_size e) 0 args
+    | Ast.Arr_get (_, e) -> 1 + expr_size e
+  in
+  let rec stmt_size = function
+    | Ast.Assign (_, e) | Ast.Radio_tx e | Ast.Led e -> 1 + expr_size e
+    | Ast.Arr_set (_, a, b) -> 1 + expr_size a + expr_size b
+    | Ast.If (c, t, e) -> 1 + expr_size c + body_size t + body_size e
+    | Ast.While (c, b) -> 1 + expr_size c + body_size b
+    | Ast.Break -> 1
+    | Ast.Call (_, args) -> 1 + List.fold_left (fun s e -> s + expr_size e) 0 args
+    | Ast.Return None -> 1
+    | Ast.Return (Some e) -> 1 + expr_size e
+  and body_size b = List.fold_left (fun s st -> s + stmt_size st) 0 b in
+  let ast_size p =
+    size_of p
+    + List.fold_left (fun acc pr -> acc + body_size pr.Ast.body) 0 p.Ast.procs
+  in
+  let base = ast_size bulky_program in
+  let candidates = Shrink.shrink_program bulky_program in
+  Alcotest.(check bool) "has candidates" true (candidates <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate strictly smaller" true (ast_size c < base))
+    candidates
+
+(* --- campaign determinism: the report is byte-identical at any -j --- *)
+
+let report_string r = Format.asprintf "%a" Runner.pp_report r
+
+let test_run_deterministic_across_jobs () =
+  let r1 = Runner.run ~seed:5 ~cases:6 ~jobs:1 () in
+  let r2 = Runner.run ~seed:5 ~cases:6 ~jobs:2 () in
+  Alcotest.(check string) "-j 1 = -j 2" (report_string r1) (report_string r2);
+  Alcotest.(check int) "no failures at seed 5" 0 (List.length r1.Runner.failures)
+
+(* --- Mote_os.Network / Energy edge cases --- *)
+
+let poller_program =
+  {
+    Ast.globals = [ ("got", 0); ("last", 0); ("polls", 0) ];
+    arrays = [];
+    procs =
+      [
+        proc "poll" ~params:[] ~locals:[ "p" ]
+          [
+            set "polls" (v "polls" +: i 1);
+            set "p" radio_rx;
+            if_ (v "p" <>: i 0)
+              [ set "got" (v "got" +: i 1); set "last" (v "p") ]
+              [];
+          ];
+      ];
+  }
+
+let sender_program =
+  {
+    Ast.globals = [ ("n", 0) ];
+    arrays = [];
+    procs =
+      [ proc "beacon" ~params:[] ~locals:[] [ set "n" (v "n" +: i 1); send (v "n") ] ];
+  }
+
+let receiver_program =
+  {
+    Ast.globals = [ ("got", 0) ];
+    arrays = [];
+    procs =
+      [
+        proc "rx" ~params:[] ~locals:[ "p" ]
+          [ set "p" radio_rx; set "got" (v "got" +: i 1) ];
+      ];
+  }
+
+let make_node ?(tasks = []) program =
+  let c = Compile.compile program in
+  let devices = Devices.create () in
+  let machine = Machine.create ~program:c.Compile.program ~devices () in
+  let env = Env.create { Env.seed = 1; channels = []; radio = Env.Silent } in
+  (c, Node.create ~machine ~env ~tasks ())
+
+let read_global (c, node) ~proc name =
+  Machine.read_mem (Node.machine node) (Compile.var_address c ~proc name)
+
+let test_network_empty_radio_queue () =
+  (* Reading the radio with nothing queued yields 0 and never faults: a
+     lone polling node in a senderless network stays silent. *)
+  let d = Devices.create () in
+  Alcotest.(check int) "fresh queue is empty" 0 (Devices.radio_rx_pending d);
+  Alcotest.(check int) "empty read yields 0" 0 (Devices.radio_rx d);
+  let ((_, n) as poller) =
+    make_node
+      ~tasks:[ { Node.proc = "poll"; source = Node.Periodic { period = 700; offset = 0 } } ]
+      poller_program
+  in
+  let net = Network.create ~nodes:[ n ] ~links:[] () in
+  let stats = Network.run net ~until:50_000 in
+  Alcotest.(check int) "nothing sent" 0 stats.Network.sent;
+  Alcotest.(check int) "nothing delivered" 0 stats.Network.delivered;
+  Alcotest.(check bool) "polled repeatedly" true
+    (read_global poller ~proc:"poll" "polls" > 10);
+  Alcotest.(check int) "no packet seen" 0 (read_global poller ~proc:"poll" "got");
+  Alcotest.(check int) "empty reads returned 0" 0
+    (read_global poller ~proc:"poll" "last")
+
+let test_network_duplicate_delivery () =
+  (* Two identical links between the same pair deliver every word twice:
+     per-link copies are independent, and stats count each copy. *)
+  let _, s =
+    make_node
+      ~tasks:
+        [ { Node.proc = "beacon"; source = Node.Periodic { period = 5003; offset = 11 } } ]
+      sender_program
+  in
+  let ((_, r) as rx) =
+    make_node ~tasks:[ { Node.proc = "rx"; source = Node.On_radio_rx } ] receiver_program
+  in
+  let link = { Network.src = 0; dst = 1; loss = 0.0; delay = 50 } in
+  let net = Network.create ~nodes:[ s; r ] ~links:[ link; link ] () in
+  let stats = Network.run net ~until:200_000 in
+  Alcotest.(check bool) "packets sent" true (stats.Network.sent > 10);
+  Alcotest.(check int) "each word delivered twice" (2 * stats.Network.sent)
+    stats.Network.delivered;
+  Alcotest.(check int) "zero lost" 0 stats.Network.lost;
+  Alcotest.(check (list (pair (pair int int) int)))
+    "per-link count merges the copies"
+    [ ((0, 1), stats.Network.delivered) ]
+    stats.Network.per_link;
+  Alcotest.(check int) "receiver ran once per copy" stats.Network.delivered
+    (read_global rx ~proc:"rx" "got")
+
+let test_energy_zero_node () =
+  (* A node that never wakes: zero cycles, zero transmissions.  The
+     report is all zeros and the lifetime projection diverges instead of
+     faulting. *)
+  let r = Energy.of_parts ~busy_cycles:0 ~idle_cycles:0 ~tx_words:0 () in
+  Alcotest.(check (float 0.0)) "active" 0.0 r.Energy.active_mj;
+  Alcotest.(check (float 0.0)) "sleep" 0.0 r.Energy.sleep_mj;
+  Alcotest.(check (float 0.0)) "radio" 0.0 r.Energy.radio_mj;
+  Alcotest.(check (float 0.0)) "total" 0.0 r.Energy.total_mj;
+  let days =
+    Energy.lifetime_days r ~horizon_cycles:1_000_000 ~cycles_per_second:1_000_000
+  in
+  Alcotest.(check bool) "zero power lives forever" true (days = infinity);
+  Alcotest.(check bool) "degenerate horizon rejected" true
+    (match Energy.lifetime_days r ~horizon_cycles:0 ~cycles_per_second:1_000_000 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Layout.Rewrite on degenerate placements --- *)
+
+let straightline_program =
+  {
+    Ast.globals = [ ("acc", 0) ];
+    arrays = [];
+    procs =
+      [
+        proc "task" ~params:[] ~locals:[ "x" ]
+          [ set "x" (v "acc" +: i 3); set "acc" (v "x" *: i 2); send (v "acc") ];
+      ];
+  }
+
+let run_collect program ~proc ~times =
+  let devices = Devices.create () in
+  let m = Machine.create ~program ~devices () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  for _ = 1 to times do
+    ignore (Machine.run_proc m proc)
+  done;
+  (Devices.tx_log devices, Machine.stats m)
+
+let test_rewrite_single_block_proc () =
+  (* A straight-line procedure has exactly one block, one legal placement,
+     and rewriting with it is observationally a no-op. *)
+  let c = Compile.compile straightline_program in
+  let original = c.Compile.program in
+  let cfg = Cfg.of_proc_name original "task" in
+  Alcotest.(check int) "single block" 1 (Cfg.num_blocks cfg);
+  let p = Placement.natural cfg in
+  Alcotest.(check (array int)) "only placement is [|0|]" [| 0 |] p;
+  let rewritten = Rewrite.program original ~placements:[ ("task", p) ] in
+  let base_tx, base_stats = run_collect original ~proc:"task" ~times:25 in
+  let tx, stats = run_collect rewritten ~proc:"task" ~times:25 in
+  Alcotest.(check (list int)) "identical output" base_tx tx;
+  Alcotest.(check int) "identical cycle count" base_stats.Machine.cycles
+    stats.Machine.cycles
+
+let branchy_program =
+  {
+    Ast.globals = [ ("a", 0); ("b", 0) ];
+    arrays = [];
+    procs =
+      [
+        proc "task" ~params:[] ~locals:[ "x" ]
+          [
+            set "x" (sensor 0);
+            if_ (v "x" >: i 400)
+              [ set "a" (v "a" +: v "x") ]
+              [ set "b" (v "b" +: i 1) ];
+            while_ (v "x" >: i 800) [ set "x" (v "x" -: i 300) ];
+            send (v "a" +: v "b");
+          ];
+      ];
+  }
+
+let run_profiled program =
+  let devices = Devices.create () in
+  let seq = ref 0 in
+  Devices.set_sensor devices (fun _ ->
+      incr seq;
+      !seq * 137 mod 1024);
+  let m = Machine.create ~program ~devices () in
+  ignore (Machine.run_proc m Compile.init_proc_name);
+  let oracle = Profilekit.Oracle.attach m in
+  for _ = 1 to 100 do
+    ignore (Machine.run_proc m "task")
+  done;
+  (Profilekit.Oracle.freq oracle ~proc:"task" ~invocations:100.0, Machine.stats m)
+
+let test_rewrite_already_optimal_is_fixpoint () =
+  (* Rewriting an already-optimized binary with its own natural placement
+     changes nothing: same output, same taken transfers, same cycles. *)
+  let c = Compile.compile branchy_program in
+  let original = c.Compile.program in
+  let freq, _ = run_profiled original in
+  let placed =
+    Rewrite.program original
+      ~placements:[ ("task", Layout.Algorithms.pettis_hansen freq) ]
+  in
+  let cfg' = Cfg.of_proc_name placed "task" in
+  let again =
+    Rewrite.program placed ~placements:[ ("task", Placement.natural cfg') ]
+  in
+  let run p =
+    let devices = Devices.create () in
+    let seq = ref 0 in
+    Devices.set_sensor devices (fun _ ->
+        incr seq;
+        !seq * 137 mod 1024);
+    let m = Machine.create ~program:p ~devices () in
+    ignore (Machine.run_proc m Compile.init_proc_name);
+    for _ = 1 to 100 do
+      ignore (Machine.run_proc m "task")
+    done;
+    (Devices.tx_log devices, Machine.stats m)
+  in
+  let tx1, s1 = run placed in
+  let tx2, s2 = run again in
+  Alcotest.(check (list int)) "identical output" tx1 tx2;
+  Alcotest.(check int) "identical cycles" s1.Machine.cycles s2.Machine.cycles;
+  Alcotest.(check int) "identical taken branches" s1.Machine.taken_cond_branches
+    s2.Machine.taken_cond_branches;
+  Alcotest.(check int) "identical jumps" s1.Machine.unconditional_transfers
+    s2.Machine.unconditional_transfers
+
+let jump_chain_program =
+  (* Three blocks chained purely by unconditional jumps — no conditional
+     branch anywhere, so every layout is behaviourally identical and the
+     only layout-sensitive cost is the jumps themselves. *)
+  Asm.assemble
+    [
+      Asm.Proc "f";
+      Asm.movi 0 1;
+      Asm.jmp "second";
+      Asm.Label "last";
+      Asm.movi 2 7;
+      Asm.ret;
+      Asm.Label "second";
+      Asm.movi 1 3;
+      Asm.jmp "last";
+    ]
+
+let run_chain program =
+  let devices = Devices.create () in
+  let m = Machine.create ~program ~devices () in
+  ignore (Machine.run_proc m "f");
+  ((Machine.reg m 0, Machine.reg m 1, Machine.reg m 2), Machine.stats m)
+
+let test_rewrite_jump_chain () =
+  let cfg = Cfg.of_proc_name jump_chain_program "f" in
+  Alcotest.(check int) "three blocks" 3 (Cfg.num_blocks cfg);
+  Array.iter
+    (fun b ->
+      match b.Cfg.term with
+      | Cfg.T_branch _ -> Alcotest.fail "unexpected conditional branch"
+      | _ -> ())
+    cfg.Cfg.blocks;
+  let regs_base, stats_base = run_chain jump_chain_program in
+  Alcotest.(check (triple int int int)) "baseline registers" (1, 3, 7) regs_base;
+  Alcotest.(check int) "natural order takes both jumps" 2
+    stats_base.Machine.unconditional_transfers;
+  List.iter
+    (fun p ->
+      let rewritten = Rewrite.program jump_chain_program ~placements:[ ("f", p) ] in
+      let regs, _ = run_chain rewritten in
+      Alcotest.(check (triple int int int)) "registers preserved" (1, 3, 7) regs)
+    [ [| 0; 1; 2 |]; [| 0; 2; 1 |] ];
+  (* Laying the chain out in execution order turns both jumps into
+     fall-throughs and deletes them. *)
+  let chained = Rewrite.program jump_chain_program ~placements:[ ("f", [| 0; 2; 1 |]) ] in
+  let _, stats_opt = run_chain chained in
+  Alcotest.(check int) "chain order deletes all jumps" 0
+    stats_opt.Machine.unconditional_transfers;
+  Alcotest.(check bool) "chain order is cheaper" true
+    (stats_opt.Machine.cycles < stats_base.Machine.cycles)
+
+let suite =
+  [
+    Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
+    Alcotest.test_case "generator always checks" `Quick test_generator_always_checks;
+    Alcotest.test_case "workloads degenerate configs" `Quick
+      test_workloads_degenerate_configs;
+    Alcotest.test_case "shrink minimizes to send" `Quick test_shrink_minimizes_to_send;
+    Alcotest.test_case "shrink candidates strictly smaller" `Quick
+      test_shrink_candidates_strictly_smaller;
+    Alcotest.test_case "run deterministic across jobs" `Quick
+      test_run_deterministic_across_jobs;
+    Alcotest.test_case "network empty radio queue" `Quick test_network_empty_radio_queue;
+    Alcotest.test_case "network duplicate delivery" `Quick
+      test_network_duplicate_delivery;
+    Alcotest.test_case "energy zero node" `Quick test_energy_zero_node;
+    Alcotest.test_case "rewrite single-block proc" `Quick test_rewrite_single_block_proc;
+    Alcotest.test_case "rewrite already-optimal fixpoint" `Quick
+      test_rewrite_already_optimal_is_fixpoint;
+    Alcotest.test_case "rewrite jump chain" `Quick test_rewrite_jump_chain;
+  ]

@@ -726,6 +726,104 @@ let f14 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* R13: graceful degradation under transport faults.  F14 stresses the  *)
+(* lossy collector alone; R13 stresses the whole pipeline — field-link  *)
+(* faults on the probe stream, with and without the sanitation stack    *)
+(* (envelope+MAD sanitizer, robust EM, sample floor) — and reads out    *)
+(* both estimation error and the placement win that survives.           *)
+(* ------------------------------------------------------------------ *)
+
+(* CI's fault-smoke job runs a reduced 2x2x2 grid (CODETOMO_R13_REDUCED=1)
+   against a committed timings baseline; the full grid is the default. *)
+let r13_reduced = Sys.getenv_opt "CODETOMO_R13_REDUCED" <> None
+let r13_losses = if r13_reduced then [ 0.0; 0.1 ] else [ 0.0; 0.05; 0.1; 0.2 ]
+let r13_corrupts = if r13_reduced then [ 0.0; 0.01 ] else [ 0.0; 0.01; 0.05 ]
+
+let r13 () =
+  section
+    "R13. Graceful degradation under probe-transport faults (filter)\n\
+     (loss x corruption x sanitation; sanitized arm = envelope+MAD sanitizer,\n\
+     robust EM with outlier mixture, sample floor with Rejected fallback)";
+  let w = Workloads.filter in
+  let grid =
+    List.concat_map
+      (fun loss ->
+        List.concat_map
+          (fun corrupt ->
+            List.map (fun arm -> (loss, corrupt, arm)) [ false; true ])
+          r13_corrupts)
+      r13_losses
+  in
+  let rows =
+    pmap
+      (fun (loss, corrupt, sanitized) ->
+        (* The zero-fault row keeps [faults = None]: it is the exact
+           default pipeline (strict collector), so its numbers coincide
+           with t4/f5 and anchor the degradation curves. *)
+        let faults =
+          if loss = 0.0 && corrupt = 0.0 then None
+          else Some (Profilekit.Transport.field ~drop:loss ~corrupt ())
+        in
+        let config = { P.default_config with P.faults } in
+        let sanitize = if sanitized then Some Tomo.Sanitize.default else None in
+        let outlier = if sanitized then Some Tomo.Em.default_outlier else None in
+        let min_samples =
+          if sanitized then Some Tomo.Health.default_min_samples else None
+        in
+        let run = profile ~config w in
+        let windows =
+          List.fold_left (fun acc (_, s) -> acc + Array.length s) 0 run.P.samples
+        in
+        let ests =
+          Codetomo.Session.estimate (sess ()) ?sanitize ?outlier ?min_samples
+            ~config w
+        in
+        let rejected =
+          List.length (List.filter (fun e -> Tomo.Health.is_rejected e.P.health) ests)
+        in
+        let variants =
+          Codetomo.Session.compare_layouts (sess ()) ?sanitize ?outlier
+            ?min_samples ~config w
+        in
+        let find label_prefix =
+          List.find
+            (fun v ->
+              String.length v.P.label >= String.length label_prefix
+              && String.sub v.P.label 0 (String.length label_prefix) = label_prefix)
+            variants
+        in
+        let natural = find "natural" and tomo = find "tomography" in
+        let reduction =
+          float_of_int (natural.P.taken_transfers - tomo.P.taken_transfers)
+          /. float_of_int (max 1 natural.P.taken_transfers)
+        in
+        [
+          pct loss;
+          pct corrupt;
+          (if sanitized then "on" else "off");
+          string_of_int windows;
+          string_of_int run.P.discarded;
+          string_of_int rejected;
+          f ~decimals:4 (mean (List.map (fun e -> e.P.mae) ests));
+          pct reduction;
+        ])
+      grid
+  in
+  emit_table ~name:"r13"
+    ~headers:
+      [
+        "loss";
+        "corrupt";
+        "sanitize";
+        "windows";
+        "discarded";
+        "rejected";
+        "mean MAE";
+        "taken reduction";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* A15: cost watermarking vs the identifiability limit.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,4 +873,5 @@ let all () =
   s12 ();
   f13 ();
   f14 ();
+  r13 ();
   a15 ()

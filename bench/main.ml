@@ -23,6 +23,7 @@ let experiments =
     ("s12", Experiments.s12);
     ("f13", Experiments.f13);
     ("f14", Experiments.f14);
+    ("r13", Experiments.r13);
     ("a15", Experiments.a15);
     ("b10", Micro.b10);
   ]

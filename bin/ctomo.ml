@@ -90,14 +90,94 @@ let with_pool domains f =
   let pool = Par.Pool.create ?domains () in
   Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
 
-let config_of seed resolution jitter horizon =
+(* Operational failures (unreadable files, infeasible requests, malformed
+   inputs) become a one-line message and exit 1 instead of a backtrace. *)
+let guarded f =
+  try f () with
+  | Invalid_argument msg | Sys_error msg | Failure msg ->
+      Printf.eprintf "ctomo: %s\n%!" msg;
+      exit 1
+  | Cfgir.Profile_io.Format_error msg ->
+      Printf.eprintf "ctomo: %s\n%!" msg;
+      exit 1
+
+(* --- link-fault and robustness flags (profile / place / report) --- *)
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P" ~doc:"Independent per-record probe loss probability on the uplink.")
+
+let corrupt_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "corrupt" ] ~docv:"P" ~doc:"Per-record timestamp bit-corruption probability.")
+
+let duplicate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "duplicate" ] ~docv:"P" ~doc:"Per-record duplication probability.")
+
+let reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P" ~doc:"Per-record bounded-reordering probability.")
+
+let faults_of loss corrupt duplicate reorder =
+  if loss = 0.0 && corrupt = 0.0 && duplicate = 0.0 && reorder = 0.0 then None
+  else
+    Some
+      {
+        Profilekit.Transport.default with
+        Profilekit.Transport.drop = loss;
+        corrupt;
+        duplicate;
+        reorder;
+      }
+
+let faults_term =
+  Term.(const faults_of $ loss_arg $ corrupt_arg $ duplicate_arg $ reorder_arg)
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:"Quarantine infeasible timings (cost envelope + MAD) before estimation.")
+
+let robust_arg =
+  Arg.(
+    value & flag
+    & info [ "robust" ]
+        ~doc:"Contamination-robust EM: add a uniform outlier mixture component.")
+
+let min_samples_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "min-samples" ] ~docv:"N"
+        ~doc:
+          "Reject procedures with fewer surviving samples; rejected procedures fall \
+           back to the uniform prior and keep their natural layout.")
+
+let sanitize_of flag = if flag then Some Tomo.Sanitize.default else None
+let outlier_of flag = if flag then Some Tomo.Em.default_outlier else None
+
+let config_of seed resolution jitter horizon faults =
   {
     P.seed;
     horizon;
     timer_resolution = resolution;
     timer_jitter = jitter;
     prediction = Mote_machine.Machine.Predict_not_taken;
+    faults;
   }
+
+let print_transport run =
+  match run.P.transport with
+  | None -> ()
+  | Some ts ->
+      Printf.printf "link: %s; %d windows discarded\n\n"
+        (Format.asprintf "%a" Profilekit.Transport.pp_stats ts)
+        run.P.discarded
 
 let theta_str theta =
   "[" ^ String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") theta)) ^ "]"
@@ -164,26 +244,44 @@ let save_profile_arg =
         ~doc:"Write the estimated edge-frequency profiles to FILE (feed it back with 'place --profile').")
 
 let profile_cmd =
-  let run w seed resolution jitter horizon method_ save domains =
+  let run w seed resolution jitter horizon method_ save domains faults sanitize robust
+      min_samples =
+    guarded @@ fun () ->
     with_pool domains @@ fun pool ->
-    let config = config_of seed resolution jitter horizon in
+    let config = config_of seed resolution jitter horizon faults in
     let run = P.profile ~config w in
     Printf.printf "profiled %s: %d busy cycles, %d tasks dropped\n\n" w.Workloads.name
       run.P.node_stats.Mote_os.Node.busy_cycles
       run.P.node_stats.Mote_os.Node.tasks_dropped;
-    let estimations = P.estimate ~pool ~method_ run in
+    print_transport run;
+    let estimations =
+      P.estimate ~pool ~method_ ?sanitize:(sanitize_of sanitize)
+        ?outlier:(outlier_of robust) ~min_samples run
+    in
     List.iter
       (fun e ->
         let samples = List.assoc e.P.proc run.P.samples in
-        let s = Stats.Summary.of_array samples in
-        Printf.printf "%s: %d samples, mean window %.1f cycles (sd %.1f)\n" e.P.proc
-          e.P.sample_count (Stats.Summary.mean s) (Stats.Summary.stddev s);
-        Printf.printf "  estimated theta: %s\n" (theta_str e.P.estimate.Tomo.Estimator.theta);
-        Printf.printf "  oracle theta:    %s\n" (theta_str e.P.truth);
-        Printf.printf "  MAE: %.4f%s\n\n" e.P.mae
-          (if e.P.estimate.Tomo.Estimator.truncated_paths then
-             "  (path enumeration truncated)"
-           else ""))
+        if Array.length samples = 0 then
+          Printf.printf "%s: no invocations observed (%s)\n\n" e.P.proc
+            (Tomo.Health.to_string e.P.health)
+        else begin
+          let s = Stats.Summary.of_array samples in
+          Printf.printf "%s: %d samples, mean window %.1f cycles (sd %.1f)\n" e.P.proc
+            e.P.sample_count (Stats.Summary.mean s) (Stats.Summary.stddev s);
+          Printf.printf "  estimated theta: %s\n" (theta_str e.P.estimate.Tomo.Estimator.theta);
+          Printf.printf "  oracle theta:    %s\n" (theta_str e.P.truth);
+          Printf.printf "  MAE: %.4f%s\n" e.P.mae
+            (if e.P.estimate.Tomo.Estimator.truncated_paths then
+               "  (path enumeration truncated)"
+             else "");
+          (match e.P.sanitize_report with
+          | Some r ->
+              Printf.printf "  sanitize: %s\n" (Format.asprintf "%a" Tomo.Sanitize.pp_report r)
+          | None -> ());
+          if not (Tomo.Health.is_healthy e.P.health) then
+            Printf.printf "  health: %s\n" (Tomo.Health.to_string e.P.health);
+          print_newline ()
+        end)
       estimations;
     match save with
     | None -> ()
@@ -195,7 +293,8 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Profile a workload and estimate its branch probabilities")
     Term.(
       const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
-      $ method_arg $ save_profile_arg $ domains_arg)
+      $ method_arg $ save_profile_arg $ domains_arg $ faults_term $ sanitize_arg
+      $ robust_arg $ min_samples_arg)
 
 (* --- place --- *)
 
@@ -207,13 +306,18 @@ let load_profile_arg =
         ~doc:"Use a saved profile (from 'profile --save-profile') for the tomography layout instead of re-estimating.")
 
 let place_cmd =
-  let run w seed resolution jitter horizon method_ profile_file domains =
+  let run w seed resolution jitter horizon method_ profile_file domains faults sanitize
+      robust min_samples =
+    guarded @@ fun () ->
     with_pool domains @@ fun pool ->
-    let config = config_of seed resolution jitter horizon in
+    let config = config_of seed resolution jitter horizon faults in
     let run = P.profile ~config w in
+    print_transport run;
     let variants =
       match profile_file with
-      | None -> P.compare_layouts ~pool ~method_ run
+      | None ->
+          P.compare_layouts ~pool ~method_ ?sanitize:(sanitize_of sanitize)
+            ?outlier:(outlier_of robust) ~min_samples run
       | Some path ->
           let original = P.natural_binary run in
           let lookup name =
@@ -252,13 +356,15 @@ let place_cmd =
        ~doc:"Run the full pipeline and compare layouts (natural/worst/tomography/perfect)")
     Term.(
       const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
-      $ method_arg $ load_profile_arg $ domains_arg)
+      $ method_arg $ load_profile_arg $ domains_arg $ faults_term $ sanitize_arg
+      $ robust_arg $ min_samples_arg)
 
 (* --- overhead --- *)
 
 let overhead_cmd =
   let run w seed resolution jitter horizon =
-    let config = config_of seed resolution jitter horizon in
+    guarded @@ fun () ->
+    let config = config_of seed resolution jitter horizon None in
     let c = Workloads.compiled w in
     let base = c.Mote_lang.Compile.program in
     let probes =
@@ -311,6 +417,7 @@ let trace_cmd =
     Arg.(value & opt int 1 & info [ "n" ] ~docv:"N" ~doc:"Invocations to trace.")
   in
   let run w proc n seed =
+    guarded @@ fun () ->
     let c = Workloads.compiled w in
     let program = c.Mote_lang.Compile.program in
     if Program.find_proc program proc = None then begin
@@ -340,11 +447,14 @@ let trace_cmd =
 (* --- report --- *)
 
 let report_cmd =
-  let run w seed resolution jitter horizon domains =
+  let run w seed resolution jitter horizon domains faults sanitize robust min_samples =
+    guarded @@ fun () ->
     with_pool domains @@ fun pool ->
-    let config = config_of seed resolution jitter horizon in
+    let config = config_of seed resolution jitter horizon faults in
     let run = P.profile ~config w in
     Printf.printf "=== %s: %s ===\n\n" w.Workloads.name w.Workloads.description;
+    print_transport run;
+    let sanitize = sanitize_of sanitize and outlier = outlier_of robust in
     (* Estimation with uncertainty and fit diagnostics.  Each procedure
        gets its own pre-split bootstrap stream, so the fan-out order
        (and hence -j) cannot change a single interval. *)
@@ -354,29 +464,67 @@ let report_cmd =
     let per_proc =
       Par.Pool.map_list pool
         (fun (i, proc) ->
-          let samples = List.assoc proc run.P.samples in
+          let raw = List.assoc proc run.P.samples in
           let model = P.model_of run proc in
-          if Array.length samples = 0 then (proc, samples, None)
+          let floor = Stdlib.max 1 min_samples in
+          if Array.length raw = 0 then
+            ( proc,
+              raw,
+              None,
+              Tomo.Health.judge ~min_samples:floor ~converged:true ~sample_count:0 (),
+              None )
           else
             let paths = Tomo.Paths.enumerate ~max_paths:20_000 model in
-            let est =
-              Tomo.Em.estimate ~sigma:(P.noise_sigma config) paths ~samples
+            let samples, sreport =
+              match sanitize with
+              | None -> (raw, None)
+              | Some sc ->
+                  let kept, r =
+                    Tomo.Sanitize.run ~config:sc ~min_cost:(Tomo.Paths.min_cost paths)
+                      ~max_cost:(Tomo.Paths.max_cost paths)
+                      ~sigma:(P.noise_sigma config) raw
+                  in
+                  (kept, Some r)
             in
-            let ci =
-              Tomo.Confidence.bootstrap ~replicates:30 streams.(i) paths ~samples
-                ~point:est.Tomo.Em.theta
-            in
-            let fit =
-              Tomo.Fit.check ~sigma:est.Tomo.Em.sigma paths ~theta:est.Tomo.Em.theta
-                ~samples
-            in
-            (proc, samples, Some (ci, fit)))
+            let n = Array.length samples in
+            if n < floor then
+              ( proc,
+                samples,
+                sreport,
+                Tomo.Health.judge ~min_samples:floor ~converged:true ~sample_count:n (),
+                None )
+            else
+              let est =
+                Tomo.Em.estimate ~sigma:(P.noise_sigma config) ?outlier paths ~samples
+              in
+              let ci =
+                Tomo.Confidence.bootstrap ~replicates:30 streams.(i) paths ~samples
+                  ~point:est.Tomo.Em.theta
+              in
+              let fit =
+                Tomo.Fit.check ~sigma:est.Tomo.Em.sigma paths ~theta:est.Tomo.Em.theta
+                  ~samples
+              in
+              (* The verdict folds in all three degradation signals: the
+                 sample floor, EM convergence, and how wide the widest
+                 bootstrap interval came out. *)
+              let width =
+                Array.fold_left
+                  (fun acc itv -> Stdlib.max acc (Tomo.Confidence.width itv))
+                  0.0 ci.Tomo.Confidence.intervals
+              in
+              let health =
+                Tomo.Health.judge ~min_samples:floor ~converged:est.Tomo.Em.converged
+                  ~sample_count:n ()
+                |> Tomo.Health.apply_ci_width ~width
+              in
+              (proc, samples, sreport, health, Some (ci, fit)))
         (List.mapi (fun i proc -> (i, proc)) procs)
     in
     List.iter
-      (fun (proc, samples, result) ->
+      (fun (proc, samples, sreport, health, result) ->
         match result with
-        | None -> Printf.printf "%s: no invocations observed\n" proc
+        | None -> Printf.printf "%s: %s\n\n" proc (Tomo.Health.to_string health)
         | Some (ci, fit) ->
             let truth = List.assoc proc run.P.oracle_thetas in
             Printf.printf "%s (%d samples):\n" proc (Array.length samples);
@@ -387,12 +535,19 @@ let report_cmd =
                   i.Tomo.Confidence.point i.Tomo.Confidence.lo i.Tomo.Confidence.hi
                   truth.(k))
               ci.Tomo.Confidence.intervals;
+            (match sreport with
+            | Some r ->
+                Printf.printf "  sanitize: %s\n"
+                  (Format.asprintf "%a" Tomo.Sanitize.pp_report r)
+            | None -> ());
+            if not (Tomo.Health.is_healthy health) then
+              Printf.printf "  health: %s\n" (Tomo.Health.to_string health);
             Printf.printf "  fit: %s -> %s\n\n"
               (Format.asprintf "%a" Tomo.Fit.pp fit)
               (if Tomo.Fit.acceptable fit then "acceptable" else "SUSPECT"))
       per_proc;
     (* Layout and energy consequences. *)
-    let variants = P.compare_layouts ~pool run in
+    let variants = P.compare_layouts ~pool ?sanitize ?outlier ~min_samples run in
     let horizon_cycles = Option.value ~default:w.Workloads.horizon config.P.horizon in
     let rows =
       List.map
@@ -427,7 +582,7 @@ let report_cmd =
           layout comparison, energy and projected battery life")
     Term.(
       const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
-      $ domains_arg)
+      $ domains_arg $ faults_term $ sanitize_arg $ robust_arg $ min_samples_arg)
 
 (* --- asm --- *)
 
@@ -446,6 +601,7 @@ let asm_cmd =
           ~doc:"hex: flash image; dis: disassembly; run: execute from 'main' until halt.")
   in
   let run file mode =
+    guarded @@ fun () ->
     let ic = open_in file in
     let text = really_input_string ic (in_channel_length ic) in
     close_in ic;

@@ -12,6 +12,7 @@ type config = {
   timer_resolution : int;
   timer_jitter : float;
   prediction : Machine.prediction;
+  faults : Profilekit.Transport.config option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     timer_resolution = 1;
     timer_jitter = 0.0;
     prediction = Machine.Predict_not_taken;
+    faults = None;
   }
 
 type profile_run = {
@@ -33,6 +35,8 @@ type profile_run = {
   oracle_freqs : (string * Freq.t) list;
   invocations : (string * int) list;
   node_stats : Node.run_stats;
+  transport : Profilekit.Transport.stats option;
+  discarded : int;
 }
 
 let noise_sigma config =
@@ -60,6 +64,27 @@ let pmap ?pool f xs =
   | Some pool -> Par.Pool.map_list pool f xs
   | None -> List.map f xs
 
+(* Telemetry collection.  A clean config reads the probe log with the
+   strict collector (whose Unbalanced check is a real invariant there);
+   with a fault model the raw log first crosses the simulated link, then
+   the resynchronizing collector pairs up what survived.  The transport
+   seed is derived from the profiling seed, not equal to it, so the link
+   noise is independent of the environment's draws. *)
+let collect_telemetry ~config ~program ~devices =
+  match config.faults with
+  | None -> (Profilekit.Probes.collect ~program ~devices, None, 0)
+  | Some faults ->
+      let records, stats =
+        Profilekit.Transport.perturb ~seed:(config.seed + 104729) faults
+          (Devices.probe_log devices)
+      in
+      let r =
+        Profilekit.Probes.collect_lossy_records ~program
+          ~resolution:(Devices.timer_resolution devices)
+          records
+      in
+      (r.Profilekit.Probes.samples, Some stats, r.Profilekit.Probes.discarded)
+
 let profile ?(config = default_config) ?compiled (workload : Workloads.t) =
   let compiled =
     match compiled with Some c -> c | None -> Workloads.compiled workload
@@ -71,7 +96,9 @@ let profile ?(config = default_config) ?compiled (workload : Workloads.t) =
   let oracle = Profilekit.Oracle.attach machine in
   let node_stats = Node.run node ~until:(horizon_of config workload) in
   let devices = Machine.devices machine in
-  let sample_set = Profilekit.Probes.collect ~program:instrumented ~devices in
+  let sample_set, transport, discarded =
+    collect_telemetry ~config ~program:instrumented ~devices
+  in
   let samples =
     List.map
       (fun proc -> (proc, Profilekit.Probes.samples_for sample_set proc))
@@ -114,6 +141,8 @@ let profile ?(config = default_config) ?compiled (workload : Workloads.t) =
     oracle_freqs;
     invocations;
     node_stats;
+    transport;
+    discarded;
   }
 
 let original_cfg run proc =
@@ -127,6 +156,8 @@ type estimation = {
   truth : float array;
   mae : float;
   sample_count : int;
+  health : Tomo.Health.t;
+  sanitize_report : Tomo.Sanitize.report option;
 }
 
 (* [max_samples] keeps the chronological prefix: the first N observation
@@ -150,26 +181,75 @@ let cached_paths ?paths_cache ~method_ ~key enumerate =
   | Tomo.Estimator.Em, Some cache -> Some (cache key enumerate)
   | _ -> None
 
+(* Shared per-procedure estimation under the robustness knobs:
+   sanitize → sample floor → estimate → health verdict.  With every knob
+   at its default this is exactly the old code path (no sanitization, a
+   floor of 1 that only intercepts the empty-sample [Invalid_argument],
+   the exact EM).  [paths] must be the materialized set for the EM
+   method — it also provides the sanitizer's cost envelope. *)
+let estimate_proc ?sanitize ?outlier ?(min_samples = 1) ~method_ ~noise_sigma:sigma
+    ?max_paths ?max_visits ~paths ~model ~truth ~proc samples =
+  let samples, sanitize_report =
+    match sanitize with
+    | None -> (samples, None)
+    | Some sc ->
+        let min_cost, max_cost =
+          match paths with
+          | Some p -> (Tomo.Paths.min_cost p, Tomo.Paths.max_cost p)
+          | None -> (Float.neg_infinity, Float.infinity)
+        in
+        let kept, report =
+          Tomo.Sanitize.run ~config:sc ~min_cost ~max_cost ~sigma samples
+        in
+        (kept, Some report)
+  in
+  let n = Array.length samples in
+  let floor = Stdlib.max 1 min_samples in
+  let estimate, health =
+    if n < floor then
+      ( Tomo.Estimator.fallback model,
+        Tomo.Health.judge ~min_samples:floor ~converged:true ~sample_count:n () )
+    else
+      let e =
+        Tomo.Estimator.run ~method_ ~noise_sigma:sigma ?max_paths ?max_visits ?paths
+          ?outlier model ~samples
+      in
+      ( e,
+        Tomo.Health.judge ~min_samples:floor
+          ~converged:e.Tomo.Estimator.converged ~sample_count:n () )
+  in
+  let mae =
+    if Array.length truth = 0 then 0.0
+    else Stats.Metrics.mae estimate.Tomo.Estimator.theta truth
+  in
+  { proc; estimate; truth; mae; sample_count = n; health; sanitize_report }
+
+(* For EM the path set is materialized here (cached or not): the
+   estimator needs it anyway, and the sanitizer reads its cost
+   envelope. *)
+let materialize_paths ?paths_cache ~method_ ~key ?max_paths ?max_visits model =
+  let enumerate () = Tomo.Paths.enumerate ?max_paths ?max_visits model in
+  match method_ with
+  | Tomo.Estimator.Em -> (
+      match cached_paths ?paths_cache ~method_ ~key enumerate with
+      | Some p -> Some p
+      | None -> Some (enumerate ()))
+  | _ -> None
+
 let estimate ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
-    ?max_visits run =
+    ?max_visits ?sanitize ?outlier ?min_samples run =
   pmap ?pool
     (fun proc ->
       let all = List.assoc proc run.samples in
       let samples = truncate_samples ?max_samples all in
       let model = model_of run proc in
       let paths =
-        cached_paths ?paths_cache ~method_ ~key:proc (fun () ->
-            Tomo.Paths.enumerate ?max_paths ?max_visits model)
-      in
-      let estimate =
-        Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
-          ?max_visits ?paths model ~samples
+        materialize_paths ?paths_cache ~method_ ~key:proc ?max_paths ?max_visits model
       in
       let truth = List.assoc proc run.oracle_thetas in
-      let mae =
-        if Array.length truth = 0 then 0.0 else Stats.Metrics.mae estimate.theta truth
-      in
-      { proc; estimate; truth; mae; sample_count = Array.length samples })
+      estimate_proc ?sanitize ?outlier ?min_samples ~method_
+        ~noise_sigma:(noise_sigma run.config) ?max_paths ?max_visits ~paths ~model
+        ~truth ~proc samples)
     run.workload.Workloads.profiled
 
 (* Ambiguous branches (equal-cost arms) in the coordinates of the
@@ -192,10 +272,12 @@ let ambiguous_sites ?paths_cache ?max_paths ?max_visits run =
     run.workload.Workloads.profiled
 
 let estimate_watermarked ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples
-    ?max_paths ?max_visits run =
+    ?max_paths ?max_visits ?sanitize ?outlier ?min_samples run =
   let sites = ambiguous_sites ?paths_cache ?max_paths ?max_visits run in
   if sites = [] then
-    (estimate ?pool ?paths_cache ~method_ ?max_samples ?max_paths ?max_visits run, [])
+    ( estimate ?pool ?paths_cache ~method_ ?max_samples ?max_paths ?max_visits ?sanitize
+        ?outlier ?min_samples run,
+      [] )
   else begin
     (* Rebuild the profiling image with delay stubs on the ambiguous taken
        edges, then profile and estimate against that image's own model.
@@ -208,8 +290,11 @@ let estimate_watermarked ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_
     let machine = Node.machine node in
     let oracle = Profilekit.Oracle.attach machine in
     ignore (Node.run node ~until:(horizon_of run.config run.workload));
-    let sample_set =
-      Profilekit.Probes.collect ~program:binary ~devices:(Machine.devices machine)
+    (* The watermarked telemetry crosses the same (possibly faulty) link
+       as the plain profiling run's. *)
+    let sample_set, _, _ =
+      collect_telemetry ~config:run.config ~program:binary
+        ~devices:(Machine.devices machine)
     in
     let estimations =
       pmap ?pool
@@ -220,19 +305,13 @@ let estimate_watermarked ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_
           (* The watermarked image's models differ from the plain ones, so
              its cache entries live under a distinct key. *)
           let paths =
-            cached_paths ?paths_cache ~method_ ~key:("watermarked:" ^ proc) (fun () ->
-                Tomo.Paths.enumerate ?max_paths ?max_visits model)
-          in
-          let estimate =
-            Tomo.Estimator.run ~method_ ~noise_sigma:(noise_sigma run.config) ?max_paths
-              ?max_visits ?paths model ~samples
+            materialize_paths ?paths_cache ~method_ ~key:("watermarked:" ^ proc)
+              ?max_paths ?max_visits model
           in
           let truth = Profilekit.Oracle.theta_vector oracle ~proc in
-          let mae =
-            if Array.length truth = 0 then 0.0
-            else Stats.Metrics.mae estimate.Tomo.Estimator.theta truth
-          in
-          { proc; estimate; truth; mae; sample_count = Array.length samples })
+          estimate_proc ?sanitize ?outlier ?min_samples ~method_
+            ~noise_sigma:(noise_sigma run.config) ?max_paths ?max_visits ~paths ~model
+            ~truth ~proc samples)
         run.workload.Workloads.profiled
     in
     Profilekit.Oracle.detach oracle;
@@ -303,14 +382,28 @@ let worst_placement freq =
 let worst_binary run =
   placed_binary run ~profiles:run.oracle_freqs ~algorithm:worst_placement
 
-let compare_layouts ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.Em) run =
+let compare_layouts ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.Em)
+    ?sanitize ?outlier ?min_samples run =
   let eval_config =
     match eval_config with
     | Some c -> c
     | None -> { run.config with seed = run.config.seed + 1000 }
   in
-  let estimations = estimate ?pool ?paths_cache ~method_ run in
-  let tomo_freqs = estimated_freqs run estimations in
+  let estimations = estimate ?pool ?paths_cache ~method_ ?sanitize ?outlier ?min_samples run in
+  (* A Rejected procedure contributes no profile: Rewrite leaves an
+     unprofiled procedure in its natural layout, which is exactly the
+     graceful-degradation contract.  The variant label carries the
+     fallback count so reports can't silently present a partial layout
+     as a full tomography one. *)
+  let usable, fallbacks =
+    List.partition (fun e -> not (Tomo.Health.is_rejected e.health)) estimations
+  in
+  let tomo_label =
+    match fallbacks with
+    | [] -> "tomography"
+    | fs -> Printf.sprintf "tomography[%d fallback]" (List.length fs)
+  in
+  let tomo_freqs = estimated_freqs run usable in
   let natural = natural_binary run in
   let tomo =
     placed_binary run ~profiles:tomo_freqs ~algorithm:Layout.Algorithms.pettis_hansen
@@ -328,6 +421,6 @@ let compare_layouts ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.E
     [
       ("natural", natural);
       ("worst", worst);
-      ("tomography", tomo);
+      (tomo_label, tomo);
       ("perfect", perfect);
     ]

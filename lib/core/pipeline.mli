@@ -17,11 +17,17 @@ type config = {
   prediction : Mote_machine.Machine.prediction;
       (** Static branch-prediction policy of the simulated core (ablation
           A11 compares them). *)
+  faults : Profilekit.Transport.config option;
+      (** Fault model for the probe uplink.  [None] reads the log
+          intact with the strict collector; [Some] routes it through
+          {!Profilekit.Transport.perturb} (seeded from [seed], but on an
+          independent stream) and the resynchronizing lossy collector.
+          The R13 experiment sweeps this. *)
 }
 
 val default_config : config
 (** seed 42, workload horizon, resolution 1, no jitter, predict
-    not-taken. *)
+    not-taken, no link faults. *)
 
 (** {1 Profiling} *)
 
@@ -38,6 +44,12 @@ type profile_run = {
       (** Ground-truth profiles on the {e original} binary's CFGs. *)
   invocations : (string * int) list;
   node_stats : Mote_os.Node.run_stats;
+  transport : Profilekit.Transport.stats option;
+      (** Link-fault accounting — [Some] iff the config carries a fault
+          model. *)
+  discarded : int;
+      (** Probe windows the lossy collector had to abandon (0 on a clean
+          link). *)
 }
 
 val profile :
@@ -60,7 +72,15 @@ type estimation = {
   estimate : Tomo.Estimator.t;
   truth : float array;
   mae : float;
-  sample_count : int;
+  sample_count : int;  (** Samples actually estimated from (post-sanitize). *)
+  health : Tomo.Health.t;
+      (** Per-procedure verdict from the sample floor and estimator
+          convergence.  A {!Tomo.Health.Rejected} procedure carries the
+          uniform fallback estimate ({!Tomo.Estimator.fallback}) and is
+          never rewritten by placement. *)
+  sanitize_report : Tomo.Sanitize.report option;
+      (** Quarantine accounting — [Some] iff estimation ran with
+          [?sanitize]. *)
 }
 
 type paths_cache = string -> (unit -> Tomo.Paths.t) -> Tomo.Paths.t
@@ -81,6 +101,9 @@ val estimate :
   ?max_samples:int ->
   ?max_paths:int ->
   ?max_visits:int ->
+  ?sanitize:Tomo.Sanitize.config ->
+  ?outlier:Tomo.Em.outlier ->
+  ?min_samples:int ->
   profile_run ->
   estimation list
 (** Estimate every profiled procedure.  [max_samples] keeps the
@@ -92,7 +115,17 @@ val estimate :
     negative, or at least the sample count, all samples are used.
     [pool] fans the per-procedure estimations out over a domain pool;
     estimation is deterministic, so the result is identical with or
-    without it. *)
+    without it.
+
+    The robustness knobs are all opt-in and, at their defaults, leave
+    every result bit-identical to the pre-robustness pipeline:
+    [sanitize] quarantines infeasible timings ({!Tomo.Sanitize}) using
+    the EM path set's cost envelope; [outlier] switches the EM to its
+    contamination-robust variant; [min_samples] (default 1) is the floor
+    below which a procedure is {!Tomo.Health.Rejected} and given the
+    uniform fallback estimate instead of an exception — with the default
+    floor only the zero-sample case (which previously raised
+    [Invalid_argument]) is intercepted. *)
 
 val ambiguous_sites :
   ?paths_cache:paths_cache ->
@@ -111,6 +144,9 @@ val estimate_watermarked :
   ?max_samples:int ->
   ?max_paths:int ->
   ?max_visits:int ->
+  ?sanitize:Tomo.Sanitize.config ->
+  ?outlier:Tomo.Em.outlier ->
+  ?min_samples:int ->
   profile_run ->
   estimation list * (string * int) list
 (** Like {!estimate}, but when {!ambiguous_sites} is non-empty the
@@ -165,6 +201,9 @@ val compare_layouts :
   ?paths_cache:paths_cache ->
   ?eval_config:config ->
   ?method_:Tomo.Estimator.method_ ->
+  ?sanitize:Tomo.Sanitize.config ->
+  ?outlier:Tomo.Em.outlier ->
+  ?min_samples:int ->
   profile_run ->
   variant list
 (** The T4/F5 experiment for one workload: natural, worst-case,
@@ -173,4 +212,11 @@ val compare_layouts :
     is tested on fresh inputs from the same distribution).  [pool] runs
     the four variant evaluations on separate domains; every variant owns
     a fresh machine/environment seeded from the evaluation config, so
-    parallel output is bit-identical to serial. *)
+    parallel output is bit-identical to serial.
+
+    The robustness knobs are forwarded to {!estimate}.  A procedure whose
+    health comes back {!Tomo.Health.Rejected} contributes {e no} profile
+    to the tomography layout — the rewriter leaves it in its natural
+    placement — and the tomography variant's label becomes
+    ["tomography[N fallback]"] so a partial layout is never mistaken for
+    a full one. *)

@@ -8,6 +8,9 @@ type estimate_key = {
   max_paths : int option;
   max_visits : int option;
   watermarked : bool;
+  sanitize : Tomo.Sanitize.config option;
+  outlier : Tomo.Em.outlier option;
+  min_samples : int option;
 }
 
 type variants_key = {
@@ -15,6 +18,9 @@ type variants_key = {
   vconfig : Pipeline.config;
   eval_config : Pipeline.config option;
   vmethod : string;
+  vsanitize : Tomo.Sanitize.config option;
+  voutlier : Tomo.Em.outlier option;
+  vmin_samples : int option;
 }
 
 (* Path sets are keyed WITHOUT the timing config: the instrumented binary
@@ -104,7 +110,7 @@ let profile t ?(config = Pipeline.default_config) (w : Workloads.t) =
     (fun () -> Pipeline.profile ~config ~compiled:(compiled t w) w)
 
 let estimate_key ?(config = Pipeline.default_config) ~method_ ~max_samples ~max_paths
-    ~max_visits ~watermarked (w : Workloads.t) =
+    ~max_visits ~watermarked ~sanitize ~outlier ~min_samples (w : Workloads.t) =
   {
     pname = w.Workloads.name;
     pconfig = config;
@@ -113,48 +119,56 @@ let estimate_key ?(config = Pipeline.default_config) ~method_ ~max_samples ~max_
     max_paths;
     max_visits;
     watermarked;
+    sanitize;
+    outlier;
+    min_samples;
   }
 
 let estimate t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visits
-    ?config (w : Workloads.t) =
+    ?sanitize ?outlier ?min_samples ?config (w : Workloads.t) =
   let key =
     estimate_key ?config ~method_ ~max_samples ~max_paths ~max_visits
-      ~watermarked:false w
+      ~watermarked:false ~sanitize ~outlier ~min_samples w
   in
   fst
     (memo t t.estimates key (fun () ->
          let run = profile t ?config w in
          ( Pipeline.estimate ~pool:t.pool
              ~paths_cache:(paths_cache t ?max_paths ?max_visits w)
-             ~method_ ?max_samples ?max_paths ?max_visits run,
+             ~method_ ?max_samples ?max_paths ?max_visits ?sanitize ?outlier
+             ?min_samples run,
            [] )))
 
 let estimate_watermarked t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
-    ?max_visits ?config (w : Workloads.t) =
+    ?max_visits ?sanitize ?outlier ?min_samples ?config (w : Workloads.t) =
   let key =
     estimate_key ?config ~method_ ~max_samples ~max_paths ~max_visits ~watermarked:true
-      w
+      ~sanitize ~outlier ~min_samples w
   in
   memo t t.estimates key (fun () ->
       let run = profile t ?config w in
       Pipeline.estimate_watermarked ~pool:t.pool
         ~paths_cache:(paths_cache t ?max_paths ?max_visits w)
-        ~method_ ?max_samples ?max_paths ?max_visits run)
+        ~method_ ?max_samples ?max_paths ?max_visits ?sanitize ?outlier ?min_samples
+        run)
 
-let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em)
-    ?(config = Pipeline.default_config) (w : Workloads.t) =
+let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em) ?sanitize ?outlier
+    ?min_samples ?(config = Pipeline.default_config) (w : Workloads.t) =
   let key =
     {
       vname = w.Workloads.name;
       vconfig = config;
       eval_config;
       vmethod = Tomo.Estimator.method_name method_;
+      vsanitize = sanitize;
+      voutlier = outlier;
+      vmin_samples = min_samples;
     }
   in
   memo t t.variants key (fun () ->
       let run = profile t ~config w in
       Pipeline.compare_layouts ~pool:t.pool ~paths_cache:(paths_cache t w) ?eval_config
-        ~method_ run)
+        ~method_ ?sanitize ?outlier ?min_samples run)
 
 let clear t =
   Mutex.lock t.mutex;

@@ -65,12 +65,16 @@ val estimate :
   ?max_samples:int ->
   ?max_paths:int ->
   ?max_visits:int ->
+  ?sanitize:Tomo.Sanitize.config ->
+  ?outlier:Tomo.Em.outlier ->
+  ?min_samples:int ->
   ?config:Pipeline.config ->
   Workloads.t ->
   Pipeline.estimation list
 (** Memoized per-procedure estimation of the (memoized) profile run,
-    keyed additionally by method and the estimator bounds.  The
-    per-procedure work fans out through the pool. *)
+    keyed additionally by method, the estimator bounds, and the
+    robustness knobs (sanitizer config, outlier mixture, sample floor).
+    The per-procedure work fans out through the pool. *)
 
 val estimate_watermarked :
   t ->
@@ -78,6 +82,9 @@ val estimate_watermarked :
   ?max_samples:int ->
   ?max_paths:int ->
   ?max_visits:int ->
+  ?sanitize:Tomo.Sanitize.config ->
+  ?outlier:Tomo.Em.outlier ->
+  ?min_samples:int ->
   ?config:Pipeline.config ->
   Workloads.t ->
   Pipeline.estimation list * (string * int) list
@@ -88,11 +95,15 @@ val compare_layouts :
   t ->
   ?eval_config:Pipeline.config ->
   ?method_:Tomo.Estimator.method_ ->
+  ?sanitize:Tomo.Sanitize.config ->
+  ?outlier:Tomo.Em.outlier ->
+  ?min_samples:int ->
   ?config:Pipeline.config ->
   Workloads.t ->
   Pipeline.variant list
 (** Memoized {!Pipeline.compare_layouts}: the four variant evaluations
-    run on the pool, once per (workload, config, eval config, method). *)
+    run on the pool, once per (workload, config, eval config, method,
+    robustness knobs). *)
 
 val clear : t -> unit
 (** Drop every memoized artifact (the pool is untouched). *)

@@ -1,4 +1,4 @@
-(* The four differential oracles.
+(* The five differential oracles.
 
    Each oracle takes one generated program (plus its own RNG stream where
    it needs randomness) and returns a verdict.  Failures carry a message
@@ -18,6 +18,7 @@ module Machine = Mote_machine.Machine
 module Devices = Mote_machine.Devices
 module Cfg = Cfgir.Cfg
 module Probes = Profilekit.Probes
+module Transport = Profilekit.Transport
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -244,7 +245,9 @@ let probe_counts samples =
   List.map (fun (proc, arr) -> (proc, Array.length arr)) samples
   |> List.sort compare
 
-let run_instrumented ~env_seed ~invocations instrumented =
+(* Run an instrumented binary and hand back the devices themselves — the
+   faults oracle needs the raw probe log, not just the collected samples. *)
+let run_for_devices ~env_seed ~invocations instrumented =
   let devices = Devices.create () in
   let env = Env.create (Gen.env_config ~seed:env_seed) in
   Env.attach env devices;
@@ -257,7 +260,12 @@ let run_instrumented ~env_seed ~invocations instrumented =
   with
   | exception Machine.Fault msg -> Error (Printf.sprintf "machine fault: %s" msg)
   | exception Not_found -> Error "task procedure missing from binary"
-  | () -> (
+  | () -> Ok devices
+
+let run_instrumented ~env_seed ~invocations instrumented =
+  match run_for_devices ~env_seed ~invocations instrumented with
+  | Error msg -> Error msg
+  | Ok devices -> (
       match Probes.collect ~program:instrumented ~devices with
       | exception Probes.Unbalanced msg ->
           Error (Printf.sprintf "unbalanced probe log: %s" msg)
@@ -543,3 +551,261 @@ let convergence p rng (c : Compile.t) =
   match convergence_candidates c p with
   | [] -> Skip "no procedure with a tractable branch-parameter path set"
   | candidates -> first_usable candidates
+
+(* ------------------------------------------------------------------ *)
+(* Oracle 5: lossy telemetry degrades gracefully, never fatally.      *)
+(* ------------------------------------------------------------------ *)
+
+(* A random but bounded fault mix: rates chosen so most cases keep some
+   signal (exercising sanitize + robust EM) while a minority lose whole
+   procedures (exercising the Rejected fallback).  Unbounded rates would
+   make every case skip-equivalent — all data lost teaches nothing about
+   the estimator. *)
+let draw_fault_config rng =
+  {
+    Transport.default with
+    drop = Stats.Rng.float rng 0.12;
+    corrupt = Stats.Rng.float rng 0.04;
+    duplicate = Stats.Rng.float rng 0.05;
+    reorder = Stats.Rng.float rng 0.08;
+    burst_enter = Stats.Rng.float rng 0.01;
+    burst_exit = 0.25;
+    burst_drop = 0.8;
+    reboot = Stats.Rng.float rng 0.002;
+  }
+
+(* A procedure's code with addresses normalized: intra-procedure targets
+   become entry-relative, external ones collapse to a sentinel.  Equal
+   fingerprints mean the rewrite emitted the procedure's instructions in
+   the same order with the same bridging jumps — i.e. left its layout
+   alone (absolute targets legitimately shift when other procedures
+   move). *)
+let proc_fingerprint binary (pi : Program.proc_info) =
+  List.init
+    (pi.Program.finish - pi.Program.entry)
+    (fun i ->
+      Isa.map_label
+        (fun t ->
+          if t >= pi.Program.entry && t < pi.Program.finish then
+            t - pi.Program.entry
+          else -1)
+        (Program.instr binary (pi.Program.entry + i)))
+
+exception Degraded_badly of string
+
+let faults p rng ~env_seed (c : Compile.t) =
+  let fault_seed = Stats.Rng.int rng 1_000_000 in
+  let fconfig = draw_fault_config rng in
+  let instrumented = Asm.assemble (Probes.instrument c.Compile.items) in
+  match run_for_devices ~env_seed ~invocations:p.em_invocations instrumented with
+  | Error msg -> Fail (Printf.sprintf "instrumented run: %s" msg)
+  | Ok devices -> (
+      let log = Devices.probe_log devices in
+      if log = [] then Skip "empty probe log"
+      else
+        let resolution = Devices.timer_resolution devices in
+        let perturbed, stats = Transport.perturb ~seed:fault_seed fconfig log in
+        let perturbed2, stats2 = Transport.perturb ~seed:fault_seed fconfig log in
+        if perturbed <> perturbed2 || stats <> stats2 then
+          Fail
+            "transport is not deterministic: same (seed, config, log) produced \
+             different outputs"
+        else if fst (Transport.perturb ~seed:fault_seed Transport.default log) <> log
+        then Fail "identity transport (all rates zero) changed the log"
+        else if stats.Transport.delivered <> List.length perturbed then
+          Fail
+            (Printf.sprintf
+               "transport accounting: delivered=%d but the perturbed log has %d \
+                records"
+               stats.Transport.delivered (List.length perturbed))
+        else
+          match
+            Probes.collect_lossy_records ~program:instrumented ~resolution perturbed
+          with
+          | exception e ->
+              Fail
+                (Printf.sprintf "lossy collection raised %s" (Printexc.to_string e))
+          | { Probes.samples = lossy; discarded = _ } -> (
+              (* Mirror the pipeline's degradation contract per procedure:
+                 sanitize, floor-check, robust-estimate; a Rejected
+                 procedure contributes no profile and must come out of the
+                 placement rewrite bit-identical (modulo relinking). *)
+              let floor = Tomo.Health.default_min_samples in
+              let natural = c.Compile.program in
+              try
+                let profiles, rejected =
+                  List.fold_left
+                    (fun (profiles, rejected) (pi : Program.proc_info) ->
+                      let proc = pi.Program.name in
+                      if proc = Compile.init_proc_name then (profiles, rejected)
+                      else begin
+                        let samples = Probes.samples_for lossy proc in
+                        let model_i =
+                          Tomo.Model.of_cfg (Cfg.of_proc_name instrumented proc)
+                        in
+                        let paths =
+                          if Tomo.Model.num_params model_i = 0 then None
+                          else
+                            match
+                              Tomo.Paths.enumerate ~max_paths:p.max_paths
+                                ~max_visits:p.max_visits ~max_steps:p.enum_steps
+                                model_i
+                            with
+                            | exception Tomo.Paths.Too_complex _ -> None
+                            | paths -> Some paths
+                        in
+                        let min_cost, max_cost =
+                          match paths with
+                          | Some ps -> (Tomo.Paths.min_cost ps, Tomo.Paths.max_cost ps)
+                          | None -> (Float.neg_infinity, Float.infinity)
+                        in
+                        let kept, report =
+                          Tomo.Sanitize.run ~min_cost ~max_cost ~sigma:1.0 samples
+                        in
+                        let n = Array.length kept in
+                        if
+                          report.Tomo.Sanitize.total <> Array.length samples
+                          || report.Tomo.Sanitize.kept <> n
+                          || report.Tomo.Sanitize.total
+                             <> report.Tomo.Sanitize.kept
+                                + report.Tomo.Sanitize.envelope_dropped
+                                + report.Tomo.Sanitize.mad_dropped
+                        then
+                          raise
+                            (Degraded_badly
+                               (Printf.sprintf
+                                  "%s: sanitize report does not add up: total=%d \
+                                   kept=%d envelope=%d mad=%d over %d samples in, \
+                                   %d out"
+                                  proc report.Tomo.Sanitize.total
+                                  report.Tomo.Sanitize.kept
+                                  report.Tomo.Sanitize.envelope_dropped
+                                  report.Tomo.Sanitize.mad_dropped
+                                  (Array.length samples) n));
+                        if n < floor then begin
+                          let verdict =
+                            Tomo.Health.judge ~min_samples:floor ~converged:true
+                              ~sample_count:n ()
+                          in
+                          if not (Tomo.Health.is_rejected verdict) then
+                            raise
+                              (Degraded_badly
+                                 (Printf.sprintf
+                                    "%s: %d samples under floor %d not rejected \
+                                     (verdict: %s)"
+                                    proc n floor (Tomo.Health.to_string verdict)));
+                          (profiles, proc :: rejected)
+                        end
+                        else
+                          match paths with
+                          | None -> (profiles, rejected)
+                          | Some paths ->
+                              let r =
+                                try
+                                  Tomo.Em.estimate ~max_iters:p.em_max_iters
+                                    ~outlier:Tomo.Em.default_outlier paths
+                                    ~samples:kept
+                                with e ->
+                                  raise
+                                    (Degraded_badly
+                                       (Printf.sprintf
+                                          "%s: robust EM raised %s on %d sanitized \
+                                           samples"
+                                          proc (Printexc.to_string e) n))
+                              in
+                              Array.iteri
+                                (fun j th ->
+                                  if
+                                    (not (Float.is_finite th))
+                                    || th < 0.0 || th > 1.0
+                                  then
+                                    raise
+                                      (Degraded_badly
+                                         (Printf.sprintf
+                                            "%s: robust theta.(%d) = %h outside \
+                                             [0,1]"
+                                            proc j th)))
+                                r.Tomo.Em.theta;
+                              if
+                                (not (Float.is_finite r.Tomo.Em.sigma))
+                                || r.Tomo.Em.sigma < 0.0
+                              then
+                                raise
+                                  (Degraded_badly
+                                     (Printf.sprintf "%s: robust sigma = %h" proc
+                                        r.Tomo.Em.sigma));
+                              (match r.Tomo.Em.outlier_eps with
+                              | None ->
+                                  raise
+                                    (Degraded_badly
+                                       (proc
+                                      ^ ": robust EM reported no outlier weight"))
+                              | Some eps ->
+                                  if
+                                    (not (Float.is_finite eps))
+                                    || eps < 0.0
+                                    || eps
+                                       > Tomo.Em.default_outlier.Tomo.Em.max_eps
+                                  then
+                                    raise
+                                      (Degraded_badly
+                                         (Printf.sprintf
+                                            "%s: outlier eps = %h outside [0, \
+                                             max_eps]"
+                                            proc eps)));
+                              let verdict =
+                                Tomo.Health.judge ~min_samples:floor
+                                  ~converged:r.Tomo.Em.converged ~sample_count:n ()
+                              in
+                              if Tomo.Health.is_rejected verdict then
+                                (profiles, proc :: rejected)
+                              else
+                                let model_n =
+                                  Tomo.Model.of_cfg ~call_residual:0
+                                    ~window_correction:0 (Cfg.of_proc natural pi)
+                                in
+                                if
+                                  Tomo.Model.num_params model_n
+                                  <> Array.length r.Tomo.Em.theta
+                                then (profiles, rejected)
+                                else
+                                  let freq =
+                                    Tomo.Model.freq_of_theta model_n
+                                      ~theta:r.Tomo.Em.theta
+                                      ~invocations:(float_of_int n)
+                                  in
+                                  ((proc, freq) :: profiles, rejected)
+                      end)
+                    ([], []) (Program.procs natural)
+                in
+                let rewritten =
+                  try
+                    Layout.Rewrite.apply_all natural
+                      ~algorithm:Layout.Algorithms.pettis_hansen ~profiles
+                  with e ->
+                    raise
+                      (Degraded_badly
+                         (Printf.sprintf "degraded placement raised %s"
+                            (Printexc.to_string e)))
+                in
+                List.iter
+                  (fun proc ->
+                    match
+                      (Program.find_proc natural proc, Program.find_proc rewritten proc)
+                    with
+                    | Some a, Some b ->
+                        if proc_fingerprint natural a <> proc_fingerprint rewritten b
+                        then
+                          raise
+                            (Degraded_badly
+                               (Printf.sprintf
+                                  "rejected procedure %s was rewritten by placement"
+                                  proc))
+                    | _ ->
+                        raise
+                          (Degraded_badly
+                             (Printf.sprintf "procedure %s missing after rewrite"
+                                proc)))
+                  rejected;
+                Pass
+              with Degraded_badly msg -> Fail msg))

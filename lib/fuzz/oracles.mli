@@ -1,4 +1,4 @@
-(** The four differential oracles of the fuzzing harness.
+(** The five differential oracles of the fuzzing harness.
 
     Every oracle runs one generated program through two pipelines that the
     design says must agree, and reports where they do not:
@@ -13,7 +13,11 @@
       {!Tomo.Em.Dense.estimate} — hex-float equality on every field of the
       result, trajectory included;
     + {!convergence}: estimated branch probabilities approach
-      {!Markov.Walk} ground-truth frequencies as the sample count grows.
+      {!Markov.Walk} ground-truth frequencies as the sample count grows;
+    + {!faults}: under a random bounded fault mix on the probe link, the
+      transport is deterministic and well-accounted, lossy collection and
+      the sanitized robust estimator never raise, health verdicts obey the
+      sample floor, and no [Rejected] procedure is touched by placement.
 
     Verdicts distinguish {!Skip} (the case structurally carries no signal
     for this oracle) from {!Fail} (a real disagreement, message included). *)
@@ -76,3 +80,14 @@ val rewrite : params -> Stats.Rng.t -> env_seed:int -> Mote_lang.Compile.t -> ve
 val em_agreement : params -> env_seed:int -> Mote_lang.Compile.t -> verdict
 
 val convergence : params -> Stats.Rng.t -> Mote_lang.Compile.t -> verdict
+
+val faults :
+  params -> Stats.Rng.t -> env_seed:int -> Mote_lang.Compile.t -> verdict
+(** The lossy-telemetry degradation oracle.  Draws a fault seed and a
+    bounded random {!Profilekit.Transport.config} from its stream, runs
+    the instrumented binary, perturbs the raw probe log, and asserts the
+    graceful-degradation contract end to end: {!Profilekit.Transport}
+    determinism and accounting, exception-free lossy collection,
+    sanitizer report consistency, finite in-range robust-EM results, and
+    a natural (bit-identical modulo relinking) layout for every
+    procedure whose health verdict is [Rejected]. *)

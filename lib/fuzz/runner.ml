@@ -12,7 +12,7 @@ module Ast = Mote_lang.Ast
 module Check = Mote_lang.Check
 module Compile = Mote_lang.Compile
 
-type oracle = Gen_check | Optimize | Rewrite | Em | Convergence
+type oracle = Gen_check | Optimize | Rewrite | Em | Convergence | Faults
 
 let oracle_name = function
   | Gen_check -> "gen-check"
@@ -20,6 +20,7 @@ let oracle_name = function
   | Rewrite -> "rewrite"
   | Em -> "em"
   | Convergence -> "convergence"
+  | Faults -> "faults"
 
 let oracle_of_name = function
   | "gen-check" -> Some Gen_check
@@ -27,19 +28,21 @@ let oracle_of_name = function
   | "rewrite" -> Some Rewrite
   | "em" -> Some Em
   | "convergence" -> Some Convergence
+  | "faults" -> Some Faults
   | _ -> None
 
-let all_oracles = [ Gen_check; Optimize; Rewrite; Em; Convergence ]
+let all_oracles = [ Gen_check; Optimize; Rewrite; Em; Convergence; Faults ]
 
 (* ------------------------------------------------------------------ *)
 (* Case execution.                                                    *)
 (* ------------------------------------------------------------------ *)
 
 (* Streams per case, in fixed order: program generation, environment
-   seeding, placement randomness (rewrite oracle), convergence oracle.
+   seeding, placement randomness (rewrite oracle), convergence oracle,
+   fault injection (faults oracle).
    Adding a stream at the END keeps old (seed, case) repros valid. *)
 let case_streams ~seed index =
-  Stats.Rng.split_n (Stats.Rng.stream ~seed ~index) 4
+  Stats.Rng.split_n (Stats.Rng.stream ~seed ~index) 5
 
 let env_seed_of rng = Stats.Rng.int rng 1_000_000
 
@@ -73,6 +76,7 @@ let run_case ?(params = Oracles.default_params) ?(config = Gen.default_config)
               (Rewrite, Oracles.rewrite params s.(2) ~env_seed c);
               (Em, Oracles.em_agreement params ~env_seed c);
               (Convergence, Oracles.convergence params s.(3) c);
+              (Faults, Oracles.faults params s.(4) ~env_seed c);
             ])
   in
   { index; program; verdicts }
@@ -117,7 +121,8 @@ let oracle_fails ?(params = Oracles.default_params) ~seed ~index oracle candidat
               | Optimize -> is_fail (Oracles.optimize params ~env_seed candidate c)
               | Rewrite -> is_fail (Oracles.rewrite params s.(2) ~env_seed c)
               | Em -> is_fail (Oracles.em_agreement params ~env_seed c)
-              | Convergence -> is_fail (Oracles.convergence params s.(3) c))))
+              | Convergence -> is_fail (Oracles.convergence params s.(3) c)
+              | Faults -> is_fail (Oracles.faults params s.(4) ~env_seed c))))
 
 (* Gen_check findings fail Check or compile, which Shrink.minimize's
    validity filter would reject — minimize them with a hand-rolled greedy

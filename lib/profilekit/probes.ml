@@ -51,8 +51,7 @@ type frame = { proc : string; t_entry : int; mutable child_cycles : int }
 let wrap16 v = v land 0xFFFF
 let diff16 later earlier = (later - earlier) land 0xFFFF
 
-let collect ~program ~devices =
-  let resolution = Mote_machine.Devices.timer_resolution devices in
+let collect_records ~program ~resolution records =
   let to_cycles ticks = ticks * resolution in
   let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   let stack : frame list ref = ref [] in
@@ -95,11 +94,16 @@ let collect ~program ~devices =
             | [] -> ());
             stack := rest
       end)
-    (Mote_machine.Devices.probe_log devices);
+    records;
   Hashtbl.fold
     (fun proc cell acc -> (proc, Array.of_list (List.rev !cell)) :: acc)
     samples []
   |> List.sort compare
+
+let collect ~program ~devices =
+  collect_records ~program
+    ~resolution:(Mote_machine.Devices.timer_resolution devices)
+    (Mote_machine.Devices.probe_log devices)
 
 let samples_for set proc = Option.value ~default:[||] (List.assoc_opt proc set)
 
@@ -112,8 +116,7 @@ type lossy_frame = {
   mutable corrupted : bool;
 }
 
-let collect_lossy ?max_window ~program ~devices () =
-  let resolution = Mote_machine.Devices.timer_resolution devices in
+let collect_lossy_records ?max_window ~program ~resolution records =
   let to_cycles ticks = ticks * resolution in
   let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
   let record_sample proc v =
@@ -199,7 +202,7 @@ let collect_lossy ?max_window ~program ~devices () =
               :: !stack
           end
           else close name (wrap16 value))
-    (Mote_machine.Devices.probe_log devices);
+    records;
   (* Frames still open at the end of the log never completed. *)
   discarded := !discarded + List.length !stack;
   let samples =
@@ -209,3 +212,8 @@ let collect_lossy ?max_window ~program ~devices () =
     |> List.sort compare
   in
   { samples; discarded = !discarded }
+
+let collect_lossy ?max_window ~program ~devices () =
+  collect_lossy_records ?max_window ~program
+    ~resolution:(Mote_machine.Devices.timer_resolution devices)
+    (Mote_machine.Devices.probe_log devices)

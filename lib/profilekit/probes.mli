@@ -52,6 +52,16 @@ val collect : program:Program.t -> devices:Mote_machine.Devices.t -> sample_set
 (** Pair up the probe log of an instrumented binary.  Invocations still
     open at the end of the log are discarded. *)
 
+val collect_records :
+  program:Program.t ->
+  resolution:int ->
+  Mote_machine.Devices.probe_record list ->
+  sample_set
+(** {!collect} on an explicit record list — the shape a base station
+    sees after the log crossed a (possibly fault-injecting, see
+    {!Transport}) link.  [resolution] is the mote timer's cycles per
+    tick. *)
+
 val samples_for : sample_set -> string -> float array
 (** Convenience accessor; [||] when the procedure has no samples. *)
 
@@ -84,3 +94,12 @@ val collect_lossy :
     child's time.  When {!Mote_machine.Devices.probes_dropped} exceeds
     what [discarded] accounts for, treat caller samples with
     suspicion (leaf procedures are unaffected). *)
+
+val collect_lossy_records :
+  ?max_window:int ->
+  program:Program.t ->
+  resolution:int ->
+  Mote_machine.Devices.probe_record list ->
+  lossy_result
+(** {!collect_lossy} on an explicit record list — feed it the output of
+    {!Transport.perturb} to model a full field deployment. *)

@@ -5,7 +5,12 @@ type result = {
   log_likelihood : float;
   converged : bool;
   trajectory : (float array * float) list;
+  outlier_eps : float option;
 }
+
+type outlier = { eps : float; estimate_eps : bool; max_eps : float }
+
+let default_outlier = { eps = 0.05; estimate_eps = true; max_eps = 0.5 }
 
 (* A window is the difference of two quantized timestamps, so the
    quantization error is triangular on (−res, res): variance (res²−1)/6 for
@@ -44,10 +49,143 @@ let half_log_two_pi = 0.5 *. log (2.0 *. Float.pi)
    instead of cached (the subtraction is cheap; the cache only saves it). *)
 let max_resid_entries = 1 lsl 22
 
+(* Contamination-robust variant: the mixture gains one uniform component
+   of weight ε whose support covers both the path-cost envelope and the
+   observed sample range, so a sample no path could explain lands on the
+   outlier component instead of producing a degenerate E-step.  σ is
+   re-estimated over the inlier responsibility mass only, and ε (when
+   re-estimated) is the outlier mass fraction, clamped.  This path makes
+   no bit-exactness promise — it runs only when the caller opts in. *)
+let estimate_robust ~max_iters ~tol ~init ~sigma:sigma0 ~estimate_sigma ~sigma_floor
+    ~record_trajectory oc paths ~samples =
+  let model = Paths.model paths in
+  let k = Model.num_params model in
+  let sigs = Paths.signatures paths in
+  let ns = Array.length sigs in
+  let sig_of = Paths.signature_of_path paths in
+  let mult = Array.make ns 0.0 in
+  Array.iter (fun s -> mult.(s) <- mult.(s) +. 1.0) sig_of;
+  let grouped = group_samples samples in
+  let n_total = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 grouped in
+  let sigma0 = Stdlib.max sigma_floor sigma0 in
+  (* Uniform support: the widest of the cost envelope and the sample
+     range, padded so no observation sits on a density cliff. *)
+  let smin, _ = grouped.(0) and smax, _ = grouped.(Array.length grouped - 1) in
+  let pad = Stdlib.max (6.0 *. sigma0) 1.0 in
+  let lo = Stdlib.min (Paths.min_cost paths) smin -. pad in
+  let hi = Stdlib.max (Paths.max_cost paths) smax +. pad in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let log_u = -.log (hi -. lo) in
+  let clamp_eps e = Stdlib.max 1e-6 (Stdlib.min oc.max_eps e) in
+  let theta = ref (match init with Some t -> Array.copy t | None -> Model.uniform_theta model) in
+  let sigma = ref sigma0 in
+  let eps = ref (clamp_eps oc.eps) in
+  let trajectory = ref [] in
+  let iterations = ref 0 in
+  let converged = ref false in
+  let final_ll = ref neg_infinity in
+  let lp = Array.make ns 0.0 in
+  let lw = Array.make ns 0.0 in
+  let tiny = 1e-12 in
+  while (not !converged) && !iterations < max_iters do
+    incr iterations;
+    Model.check_theta model !theta;
+    let log_t = Array.map (fun p -> log (Stdlib.max tiny p)) !theta in
+    let log_f = Array.map (fun p -> log (Stdlib.max tiny (1.0 -. p))) !theta in
+    Paths.signature_log_prior paths ~log_t ~log_f lp;
+    let sg = !sigma in
+    let log_sigma = log sg in
+    let log_in = log (Stdlib.max tiny (1.0 -. !eps)) in
+    let log_out = log !eps +. log_u in
+    let taken_acc = Array.make k 0.0 in
+    let either_acc = Array.make k 0.0 in
+    let sq_acc = ref 0.0 in
+    let inlier_mass = ref 0.0 in
+    let outlier_mass = ref 0.0 in
+    let ll = ref 0.0 in
+    Array.iter
+      (fun (value, count) ->
+        let best = ref log_out in
+        for s = 0 to ns - 1 do
+          let d = value -. sigs.(s).Paths.s_cost in
+          let z = d /. sg in
+          let w = log_in +. lp.(s) +. ((-0.5 *. z *. z) -. log_sigma -. half_log_two_pi) in
+          lw.(s) <- w;
+          if w > !best then best := w
+        done;
+        let best = !best in
+        let z = ref (exp (log_out -. best)) in
+        for s = 0 to ns - 1 do
+          z := !z +. (mult.(s) *. exp (lw.(s) -. best))
+        done;
+        let lse = best +. log !z in
+        ll := !ll +. (count *. lse);
+        outlier_mass := !outlier_mass +. (count *. exp (log_out -. lse));
+        for s = 0 to ns - 1 do
+          (* One path's responsibility times the signature multiplicity:
+             merged paths share identical branch counts by construction. *)
+          let r = mult.(s) *. count *. exp (lw.(s) -. lse) in
+          if r > 0.0 then begin
+            let entry = sigs.(s) in
+            let idx = entry.Paths.s_taken_idx and cnt = entry.Paths.s_taken_cnt in
+            for i = 0 to Array.length idx - 1 do
+              let j = idx.(i) in
+              let rf = r *. cnt.(i) in
+              taken_acc.(j) <- taken_acc.(j) +. rf;
+              either_acc.(j) <- either_acc.(j) +. rf
+            done;
+            let idx = entry.Paths.s_nottaken_idx and cnt = entry.Paths.s_nottaken_cnt in
+            for i = 0 to Array.length idx - 1 do
+              either_acc.(idx.(i)) <- either_acc.(idx.(i)) +. (r *. cnt.(i))
+            done;
+            let d = value -. entry.Paths.s_cost in
+            sq_acc := !sq_acc +. (r *. d *. d);
+            inlier_mass := !inlier_mass +. r
+          end
+        done)
+      grouped;
+    let new_theta =
+      Array.init k (fun j ->
+          if either_acc.(j) <= 0.0 then !theta.(j) else clamp_theta (taken_acc.(j) /. either_acc.(j)))
+    in
+    let new_sigma =
+      if estimate_sigma then
+        Stdlib.max sigma_floor (sqrt (!sq_acc /. Stdlib.max tiny !inlier_mass))
+      else !sigma
+    in
+    let new_eps =
+      if oc.estimate_eps then clamp_eps (!outlier_mass /. n_total) else !eps
+    in
+    let delta =
+      Array.mapi (fun j v -> abs_float (v -. !theta.(j))) new_theta
+      |> Array.fold_left Stdlib.max (abs_float (new_eps -. !eps))
+    in
+    theta := new_theta;
+    sigma := new_sigma;
+    eps := new_eps;
+    final_ll := !ll;
+    if record_trajectory then trajectory := (Array.copy new_theta, !ll) :: !trajectory;
+    if delta < tol then converged := true
+  done;
+  {
+    theta = !theta;
+    sigma = !sigma;
+    iterations = !iterations;
+    log_likelihood = !final_ll;
+    converged = !converged;
+    trajectory = List.rev !trajectory;
+    outlier_eps = Some !eps;
+  }
+
 let estimate ?(max_iters = 100) ?(tol = 1e-5) ?init ?(sigma = 2.0) ?(estimate_sigma = true)
     ?(sigma_floor = 0.1) ?(log_threshold = exact_log_threshold)
-    ?(record_trajectory = true) paths ~samples =
+    ?(record_trajectory = true) ?outlier paths ~samples =
   if Array.length samples = 0 then invalid_arg "Em.estimate: no samples";
+  match outlier with
+  | Some oc ->
+      estimate_robust ~max_iters ~tol ~init ~sigma ~estimate_sigma ~sigma_floor
+        ~record_trajectory oc paths ~samples
+  | None ->
   let model = Paths.model paths in
   let k = Model.num_params model in
   let sigs = Paths.signatures paths in
@@ -188,6 +326,7 @@ let estimate ?(max_iters = 100) ?(tol = 1e-5) ?init ?(sigma = 2.0) ?(estimate_si
     log_likelihood = !final_ll;
     converged = !converged;
     trajectory = List.rev !trajectory;
+    outlier_eps = None;
   }
 
 (* The dense per-path reference the sparse kernels were derived from.  Kept
@@ -286,5 +425,6 @@ module Dense = struct
       log_likelihood = !final_ll;
       converged = !converged;
       trajectory = List.rev !trajectory;
+      outlier_eps = None;
     }
 end

@@ -28,7 +28,23 @@ type result = {
       (** (θ, log-likelihood) after each iteration, oldest first — feeds
           the convergence figure F7.  Empty when the estimate was run with
           [record_trajectory:false]. *)
+  outlier_eps : float option;
+      (** Final contamination weight ε — [Some] iff the estimate ran with
+          [?outlier]. *)
 }
+
+(** Contamination model for the robust variant: the path mixture gains a
+    uniform component of weight ε whose support covers both the path-cost
+    envelope and the observed sample range, so a timing no path could
+    have produced is absorbed instead of dragging θ and σ. *)
+type outlier = {
+  eps : float;  (** Initial (or fixed) contamination weight. *)
+  estimate_eps : bool;  (** Re-estimate ε as the outlier mass fraction. *)
+  max_eps : float;  (** Upper clamp on ε. *)
+}
+
+val default_outlier : outlier
+(** ε = 0.05, re-estimated, clamped to [[1e-6, 0.5]]. *)
 
 val estimate :
   ?max_iters:int ->
@@ -39,6 +55,7 @@ val estimate :
   ?sigma_floor:float ->
   ?log_threshold:float ->
   ?record_trajectory:bool ->
+  ?outlier:outlier ->
   Paths.t ->
   samples:float array ->
   result
@@ -55,6 +72,13 @@ val estimate :
     (θ, log-likelihood) trajectory is kept.  Hot callers that never read
     it (bench sweeps, {!Windowed}, {!Planner}, {!Confidence}) pass false
     to skip one θ copy per iteration.
+
+    [outlier] switches on the contamination-robust variant.  Off (the
+    default), the exact sparse kernel runs and results stay bit-for-bit
+    identical to {!Dense} — robustness is strictly opt-in; on, σ is
+    re-estimated over inlier responsibility mass only and the result
+    carries the final ε in [outlier_eps].  The robust path makes no
+    bit-exactness promise against {!Dense}.
     @raise Invalid_argument on empty samples. *)
 
 val exact_log_threshold : float

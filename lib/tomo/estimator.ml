@@ -11,25 +11,31 @@ type t = {
   log_likelihood : float option;
   sigma : float option;
   truncated_paths : bool;
+  converged : bool;
+  outlier_eps : float option;
 }
 
 let by_block model theta =
   Array.to_list (Array.mapi (fun k id -> (id, theta.(k))) (Model.param_blocks model))
 
+let fallback model =
+  let theta = Model.uniform_theta model in
+  {
+    method_ = Naive;
+    theta;
+    thetas_by_block = by_block model theta;
+    iterations = 0;
+    log_likelihood = None;
+    sigma = None;
+    truncated_paths = false;
+    converged = true;
+    outlier_eps = None;
+  }
+
 let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters ?paths
-    model ~samples =
+    ?outlier model ~samples =
   match method_ with
-  | Naive ->
-      let theta = Model.uniform_theta model in
-      {
-        method_;
-        theta;
-        thetas_by_block = by_block model theta;
-        iterations = 0;
-        log_likelihood = None;
-        sigma = None;
-        truncated_paths = false;
-      }
+  | Naive -> { (fallback model) with method_ = Naive }
   | Moments ->
       let r = Moments.estimate ?max_iters ~noise_sigma model ~samples in
       {
@@ -40,6 +46,8 @@ let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters ?
         log_likelihood = None;
         sigma = None;
         truncated_paths = false;
+        converged = r.Moments.converged;
+        outlier_eps = None;
       }
   | Em ->
       let paths =
@@ -49,8 +57,8 @@ let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters ?
       in
       (* The estimator surfaces no trajectory, so don't record one. *)
       let r =
-        Em.estimate ?max_iters ~sigma:noise_sigma ~record_trajectory:false paths
-          ~samples
+        Em.estimate ?max_iters ~sigma:noise_sigma ~record_trajectory:false ?outlier
+          paths ~samples
       in
       {
         method_;
@@ -60,11 +68,13 @@ let run ?(method_ = Em) ?(noise_sigma = 1.0) ?max_paths ?max_visits ?max_iters ?
         log_likelihood = Some r.Em.log_likelihood;
         sigma = Some r.Em.sigma;
         truncated_paths = Paths.truncated paths;
+        converged = r.Em.converged;
+        outlier_eps = r.Em.outlier_eps;
       }
 
-let run_many ?pool ?method_ ?noise_sigma ?max_paths ?max_visits ?max_iters cases =
+let run_many ?pool ?method_ ?noise_sigma ?max_paths ?max_visits ?max_iters ?outlier cases =
   let estimate_one (model, samples) =
-    run ?method_ ?noise_sigma ?max_paths ?max_visits ?max_iters model ~samples
+    run ?method_ ?noise_sigma ?max_paths ?max_visits ?max_iters ?outlier model ~samples
   in
   match pool with
   | Some pool -> Par.Pool.map_list pool estimate_one cases

@@ -21,7 +21,18 @@ type t = {
   log_likelihood : float option;  (** EM only. *)
   sigma : float option;  (** EM only: final noise scale. *)
   truncated_paths : bool;  (** Path enumeration hit its bounds. *)
+  converged : bool;
+      (** The iterative method stopped on tolerance, not its iteration
+          cap.  Always true for [Naive] and {!fallback}. *)
+  outlier_eps : float option;
+      (** Final contamination weight — EM with [?outlier] only. *)
 }
+
+val fallback : Model.t -> t
+(** The estimate placement falls back to when a procedure's telemetry is
+    {!Health.Rejected}: uniform θ (the no-profile prior), method
+    [Naive], zero iterations.  Total — never raises, even on a model
+    with no samples at all. *)
 
 val run :
   ?method_:method_ ->
@@ -30,13 +41,16 @@ val run :
   ?max_visits:int ->
   ?max_iters:int ->
   ?paths:Paths.t ->
+  ?outlier:Em.outlier ->
   Model.t ->
   samples:float array ->
   t
 (** Defaults: EM, noise σ from a unit-resolution jitter-free timer.
     [~paths] supplies a pre-enumerated (typically session-cached) path
     set for the EM method, skipping re-enumeration; it must belong to
-    the same model.  Ignored by the other methods. *)
+    the same model.  [~outlier] switches the EM to its contamination-
+    robust variant ({!Em.estimate}).  Both are ignored by the other
+    methods. *)
 
 val run_many :
   ?pool:Par.Pool.t ->
@@ -45,6 +59,7 @@ val run_many :
   ?max_paths:int ->
   ?max_visits:int ->
   ?max_iters:int ->
+  ?outlier:Em.outlier ->
   (Model.t * float array) list ->
   t list
 (** [run_many cases] estimates every [(model, samples)] case, fanning

@@ -1,0 +1,34 @@
+Operational failures must exit 1 with a one-line message, never a
+backtrace: a base-station operator scripting ctomo distinguishes "my
+request was infeasible" (exit 1) from "the estimator crashed" (anything
+else).
+
+An unwritable --save-profile path (Sys_error):
+
+  $ ctomo profile -w sense --horizon 20000 --save-profile /nonexistent-dir/x.prof > /dev/null
+  ctomo: /nonexistent-dir/x.prof: No such file or directory
+  [1]
+
+A malformed saved profile (Profile_io.Format_error):
+
+  $ echo garbage > bad.prof
+  $ ctomo place -w sense --horizon 20000 --profile bad.prof
+  ctomo: missing "codetomo-profile 1" header
+  [1]
+
+An infeasible device configuration (Invalid_argument):
+
+  $ ctomo profile -w sense --horizon 20000 --resolution 0
+  ctomo: Devices.create: resolution must be positive
+  [1]
+
+The guard does not swallow success: a clean run still exits 0.
+
+  $ ctomo profile -w sense --horizon 20000 > /dev/null
+
+Rejection is not an error: with a sample floor no procedure can meet,
+the pipeline completes, reports the verdicts, and exits 0 (placement
+would simply keep the natural layout).
+
+  $ ctomo profile -w sense --horizon 20000 --min-samples 100000 | grep -c 'health: rejected'
+  2

@@ -14,7 +14,9 @@ let () =
       ("env", Test_env.suite);
       ("node", Test_node.suite);
       ("profilekit", Test_profilekit.suite);
+      ("transport", Test_transport.suite);
       ("tomo", Test_tomo.suite);
+      ("sanitize", Test_sanitize.suite);
       ("em_kernels", Test_em_kernels.suite);
       ("layout", Test_layout.suite);
       ("workloads", Test_workloads.suite);

@@ -171,6 +171,108 @@ let test_quantized_profiling_still_estimates () =
         true (e.P.mae < 0.2))
     est
 
+(* --- lossy telemetry: the graceful-degradation acceptance tests --- *)
+
+(* The field preset: 5% loss + 1% corruption, the ISSUE's operating
+   point.  One faulted run per workload, shared across the tests. *)
+let faulted_config =
+  { config with P.faults = Some (Profilekit.Transport.field ()) }
+
+let faulted_runs =
+  lazy
+    (List.map (fun w -> (w.Workloads.name, P.profile ~config:faulted_config w)) Workloads.all)
+
+let hardened_estimate run =
+  P.estimate ~sanitize:Tomo.Sanitize.default ~outlier:Tomo.Em.default_outlier
+    ~min_samples:Tomo.Health.default_min_samples run
+
+let test_faulted_pipeline_completes () =
+  (* At the field operating point every workload must profile, estimate
+     and compare layouts without raising — degradation is typed, never
+     thrown. *)
+  List.iter
+    (fun (name, run) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: transport dropped something" name)
+        true
+        (match run.P.transport with Some s -> s.Profilekit.Transport.sent > s.Profilekit.Transport.delivered | None -> false);
+      let ests = hardened_estimate run in
+      Alcotest.(check bool) (Printf.sprintf "%s: estimations" name) true (ests <> []);
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: finite mae" name)
+            true (Float.is_finite e.P.mae))
+        ests;
+      let variants = P.compare_layouts ~sanitize:Tomo.Sanitize.default
+          ~outlier:Tomo.Em.default_outlier ~min_samples:Tomo.Health.default_min_samples run
+      in
+      Alcotest.(check bool) (Printf.sprintf "%s: variants" name) true (List.length variants >= 4))
+    (Lazy.force faulted_runs)
+
+let test_sanitized_beats_unsanitized () =
+  (* The ISSUE's accuracy clause: under faults, the hardened arm is at
+     least as good per procedure (small tolerance for estimator noise)
+     and strictly better in aggregate. *)
+  let total_plain = ref 0.0 and total_hard = ref 0.0 in
+  List.iter
+    (fun (name, run) ->
+      let plain = P.estimate run in
+      let hard = hardened_estimate run in
+      List.iter2
+        (fun p h ->
+          total_plain := !total_plain +. p.P.mae;
+          total_hard := !total_hard +. h.P.mae;
+          if not (Tomo.Health.is_rejected h.P.health) then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s: hardened %.4f <= plain %.4f" name p.P.proc
+                 h.P.mae p.P.mae)
+              true
+              (h.P.mae <= p.P.mae +. 0.02))
+        plain hard)
+    (Lazy.force faulted_runs);
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate: hardened %.4f < plain %.4f" !total_hard !total_plain)
+    true
+    (!total_hard < !total_plain)
+
+let test_sample_floor_rejects () =
+  (* An absurd floor rejects every procedure — with a typed verdict and
+     the uniform fallback, not an exception. *)
+  let run = run_of "filter" in
+  let ests = P.estimate ~min_samples:max_int run in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rejected" e.P.proc)
+        true
+        (Tomo.Health.is_rejected e.P.health))
+    ests
+
+let test_rejected_never_rewritten () =
+  (* All-Rejected estimation ⇒ the tomography variant is flagged as a
+     fallback and its binary behaves exactly like natural: no Rejected
+     procedure was rewritten. *)
+  let run = run_of "filter" in
+  let variants = P.compare_layouts ~min_samples:max_int run in
+  let tomo =
+    List.find
+      (fun v -> String.length v.P.label >= 10 && String.sub v.P.label 0 10 = "tomography")
+      variants
+  in
+  let natural = List.find (fun v -> v.P.label = "natural") variants in
+  Alcotest.(check bool)
+    (Printf.sprintf "label %S flags the fallback" tomo.P.label)
+    true
+    (tomo.P.label <> "tomography");
+  Alcotest.(check bool) "mentions fallback" true
+    (String.length tomo.P.label > 10
+    && String.sub tomo.P.label (String.length tomo.P.label - 9) 9 = "fallback]");
+  Alcotest.(check int) "same taken transfers as natural" natural.P.taken_transfers
+    tomo.P.taken_transfers;
+  Alcotest.(check int) "same busy cycles as natural" natural.P.busy_cycles
+    tomo.P.busy_cycles
+
 let suite =
   [
     Alcotest.test_case "profile produces samples" `Slow test_profile_produces_samples;
@@ -184,4 +286,8 @@ let suite =
     Alcotest.test_case "run_binary determinism" `Slow test_run_binary_determinism;
     Alcotest.test_case "noise sigma" `Quick test_noise_sigma;
     Alcotest.test_case "quantized profiling" `Slow test_quantized_profiling_still_estimates;
+    Alcotest.test_case "faulted pipeline completes" `Slow test_faulted_pipeline_completes;
+    Alcotest.test_case "sanitized beats unsanitized" `Slow test_sanitized_beats_unsanitized;
+    Alcotest.test_case "sample floor rejects" `Slow test_sample_floor_rejects;
+    Alcotest.test_case "rejected never rewritten" `Slow test_rejected_never_rewritten;
   ]

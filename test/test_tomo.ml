@@ -204,6 +204,53 @@ let test_em_init_respected () =
   let r = Tomo.Em.estimate ~max_iters:0 ~init:[| 0.123 |] p ~samples in
   feq "zero iterations keep init" 0.123 r.Tomo.Em.theta.(0)
 
+(* --- robust (contamination) EM --- *)
+
+let test_em_robustness_opt_in () =
+  let m = diamond_model () in
+  let p = Paths.enumerate m in
+  let samples = synth_samples ~noise:0.5 m [| 0.4 |] 19 in
+  let r = Tomo.Em.estimate p ~samples in
+  Alcotest.(check bool) "no outlier: eps absent" true (r.Tomo.Em.outlier_eps = None);
+  let fixed = { Tomo.Em.eps = 0.1; estimate_eps = false; max_eps = 0.5 } in
+  let r = Tomo.Em.estimate ~outlier:fixed p ~samples in
+  (match r.Tomo.Em.outlier_eps with
+  | Some eps -> feq "fixed eps stays fixed" 0.1 eps
+  | None -> Alcotest.fail "eps expected")
+
+let test_em_robust_under_contamination () =
+  let m = diamond_model () in
+  let p = Paths.enumerate m in
+  (* 10% garbage far above any feasible path cost — the shape the lossy
+     transport produces (stale-entry windows, corrupted timestamps). *)
+  let clean = synth_samples ~noise:0.5 ~n:3000 m [| 0.3 |] 20 in
+  let garbage = Array.init 300 (fun i -> 500.0 +. float_of_int (i mod 7)) in
+  let samples = Array.append clean garbage in
+  let plain = Tomo.Em.estimate ~sigma:0.5 p ~samples in
+  let robust = Tomo.Em.estimate ~sigma:0.5 ~outlier:Tomo.Em.default_outlier p ~samples in
+  let err r = abs_float (r.Tomo.Em.theta.(0) -. 0.3) in
+  feq ~tol:0.03 "robust theta survives the garbage" 0.3 robust.Tomo.Em.theta.(0);
+  Alcotest.(check bool) "and beats the plain EM" true (err robust < err plain);
+  Alcotest.(check bool) "plain sigma is dragged up" true
+    (robust.Tomo.Em.sigma < plain.Tomo.Em.sigma);
+  match robust.Tomo.Em.outlier_eps with
+  | Some eps ->
+      feq ~tol:0.05 "eps finds the contamination fraction" (300.0 /. 3300.0) eps
+  | None -> Alcotest.fail "eps expected"
+
+let test_em_robust_clean_data () =
+  (* On clean data the robust variant must not invent outliers: eps
+     clamps near its floor and theta matches the exact kernel closely. *)
+  let m = diamond_model () in
+  let p = Paths.enumerate m in
+  let samples = synth_samples ~noise:0.5 ~n:3000 m [| 0.3 |] 21 in
+  let exact = Tomo.Em.estimate ~sigma:0.5 p ~samples in
+  let robust = Tomo.Em.estimate ~sigma:0.5 ~outlier:Tomo.Em.default_outlier p ~samples in
+  feq ~tol:0.01 "theta unchanged" exact.Tomo.Em.theta.(0) robust.Tomo.Em.theta.(0);
+  match robust.Tomo.Em.outlier_eps with
+  | Some eps -> Alcotest.(check bool) "eps near zero" true (eps < 0.02)
+  | None -> Alcotest.fail "eps expected"
+
 let test_default_sigma () =
   feq "resolution 1 is exact (floored)" 0.1 (Tomo.Em.default_sigma ~resolution:1 ~jitter:0.0);
   feq "resolution 8 jitter 3" (sqrt ((63.0 /. 6.0) +. 18.0))
@@ -301,6 +348,9 @@ let suite =
     Alcotest.test_case "em loglik monotone" `Quick test_em_loglik_nondecreasing;
     Alcotest.test_case "em empty" `Quick test_em_empty_samples;
     Alcotest.test_case "em init" `Quick test_em_init_respected;
+    Alcotest.test_case "em robustness opt-in" `Quick test_em_robustness_opt_in;
+    Alcotest.test_case "em robust vs contamination" `Quick test_em_robust_under_contamination;
+    Alcotest.test_case "em robust on clean data" `Quick test_em_robust_clean_data;
     Alcotest.test_case "default sigma" `Quick test_default_sigma;
     Alcotest.test_case "moments diamond" `Quick test_moments_recovers_diamond;
     Alcotest.test_case "moments loop" `Quick test_moments_loop;

@@ -859,6 +859,83 @@ let a15 () =
       [ "workload"; "procedure"; "ambiguous branches"; "MAE plain"; "MAE watermarked" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* F15: fleet scaling sweep.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* CI's fleet-smoke job runs a reduced grid (CODETOMO_F15_REDUCED=1)
+   against a committed timings baseline; the full grid is the default.
+   Grid points run serially — each Fleet.Service.run already fans its
+   node work out over the session pool. *)
+let f15_reduced = Sys.getenv_opt "CODETOMO_F15_REDUCED" <> None
+let f15_nodes = if f15_reduced then [ 2; 4 ] else [ 2; 4; 8 ]
+let f15_rounds = if f15_reduced then [ 4 ] else [ 4; 10 ]
+let f15_losses = if f15_reduced then [ 0.0; 0.1 ] else [ 0.0; 0.05; 0.1 ]
+
+let f15 () =
+  section
+    "F15. Fleet scaling: nodes x rounds x loss (filter)\n\
+     (N simulated nodes stream Wire batches over faulty uplinks; the base\n\
+     station fuses health-gated per-node online estimates and places from\n\
+     the fleet profile.  MAE columns: fused theta vs the pooled oracle at\n\
+     mid-campaign and at the end — the convergence curve.)";
+  let w = Workloads.filter in
+  let rows =
+    List.concat_map
+      (fun nodes ->
+        List.concat_map
+          (fun rounds ->
+            List.map
+              (fun loss ->
+                let faults =
+                  if loss = 0.0 then Profilekit.Transport.default
+                  else Profilekit.Transport.field ~drop:loss ()
+                in
+                let config =
+                  {
+                    (Fleet.Service.default_config w) with
+                    Fleet.Service.nodes;
+                    rounds;
+                    faults;
+                  }
+                in
+                let report = Fleet.Service.run ~session:(sess ()) config in
+                let round r =
+                  List.nth report.Fleet.Service.round_reports (r - 1)
+                in
+                let mid = round (max 1 (rounds / 2)) and last = round rounds in
+                let final = report.Fleet.Service.final in
+                [
+                  string_of_int nodes;
+                  string_of_int rounds;
+                  pct loss;
+                  string_of_int last.Fleet.Service.delivered;
+                  string_of_int last.Fleet.Service.fed;
+                  Printf.sprintf "%d/%d" last.Fleet.Service.admitted
+                    last.Fleet.Service.rejected;
+                  f ~decimals:4 mid.Fleet.Service.fused_mae;
+                  f ~decimals:4 last.Fleet.Service.fused_mae;
+                  pct final.Fleet.Service.reduction;
+                ])
+              f15_losses)
+          f15_rounds)
+      f15_nodes
+  in
+  emit_table ~name:"f15"
+    ~headers:
+      [
+        "nodes";
+        "rounds";
+        "loss";
+        "delivered";
+        "fed";
+        "admit/rej";
+        "MAE mid";
+        "MAE final";
+        "taken reduction";
+      ]
+    rows
+
 let all () =
   t1 ();
   f2 ();
@@ -874,4 +951,5 @@ let all () =
   f13 ();
   f14 ();
   r13 ();
-  a15 ()
+  a15 ();
+  f15 ()

@@ -25,6 +25,7 @@ let experiments =
     ("f14", Experiments.f14);
     ("r13", Experiments.r13);
     ("a15", Experiments.a15);
+    ("f15", Experiments.f15);
     ("b10", Micro.b10);
   ]
 

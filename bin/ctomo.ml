@@ -12,175 +12,19 @@
                (--profile reuses a saved profile)
      report    estimates with confidence intervals + fit checks + layout +
                energy, in one shot
+     fleet     simulate an N-node deployment streaming probe batches over
+               lossy links; fuse per-node online estimates and place
      overhead  instrumentation cost comparison (probes vs edge counters)
      asm       assemble a .s file; hexdump, disassemble or run it
-*)
+
+   Shared flags (workload/timing/faults/robustness/-j) live in
+   Ctomo_flags so every subcommand documents them identically. *)
 
 open Cmdliner
+open Ctomo_flags
 module P = Codetomo.Pipeline
 module Cfg = Cfgir.Cfg
 module Program = Mote_isa.Program
-
-let workload_conv =
-  let parse s =
-    match Workloads.find s with
-    | w -> Ok w
-    | exception Not_found ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown workload %S (try: %s)" s
-               (String.concat ", " (List.map (fun w -> w.Workloads.name) Workloads.all))))
-  in
-  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt w.Workloads.name)
-
-let workload_arg =
-  Arg.(
-    required
-    & opt (some workload_conv) None
-    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to operate on.")
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Environment seed.")
-
-let resolution_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "resolution" ] ~docv:"CYCLES" ~doc:"Timer resolution in cycles per tick.")
-
-let jitter_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "jitter" ] ~docv:"SIGMA" ~doc:"Gaussian timer jitter in cycles.")
-
-let horizon_arg =
-  Arg.(
-    value & opt (some int) None
-    & info [ "horizon" ] ~docv:"CYCLES" ~doc:"Simulated cycles (default: workload's).")
-
-let method_conv =
-  let parse = function
-    | "em" -> Ok Tomo.Estimator.Em
-    | "moments" -> Ok Tomo.Estimator.Moments
-    | "naive" -> Ok Tomo.Estimator.Naive
-    | s -> Error (`Msg (Printf.sprintf "unknown method %S (em|moments|naive)" s))
-  in
-  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Tomo.Estimator.method_name m))
-
-let method_arg =
-  Arg.(
-    value
-    & opt method_conv Tomo.Estimator.Em
-    & info [ "method" ] ~docv:"METHOD" ~doc:"Estimator: em, moments or naive.")
-
-let domains_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "j"; "domains" ] ~docv:"N"
-        ~doc:
-          "Domains for the parallel stages (per-procedure estimation, the \
-           four layout evaluations, bootstrap CIs).  Defaults to \
-           $(b,CODETOMO_DOMAINS), else the recommended domain count.  \
-           Output is bit-identical at any value.")
-
-(* Every parallel task below derives its randomness from its own key
-   (workload seed or a pre-split stream), so -j changes only wall-clock
-   time, never a number. *)
-let with_pool domains f =
-  let pool = Par.Pool.create ?domains () in
-  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
-
-(* Operational failures (unreadable files, infeasible requests, malformed
-   inputs) become a one-line message and exit 1 instead of a backtrace. *)
-let guarded f =
-  try f () with
-  | Invalid_argument msg | Sys_error msg | Failure msg ->
-      Printf.eprintf "ctomo: %s\n%!" msg;
-      exit 1
-  | Cfgir.Profile_io.Format_error msg ->
-      Printf.eprintf "ctomo: %s\n%!" msg;
-      exit 1
-
-(* --- link-fault and robustness flags (profile / place / report) --- *)
-
-let loss_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "loss" ] ~docv:"P" ~doc:"Independent per-record probe loss probability on the uplink.")
-
-let corrupt_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "corrupt" ] ~docv:"P" ~doc:"Per-record timestamp bit-corruption probability.")
-
-let duplicate_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "duplicate" ] ~docv:"P" ~doc:"Per-record duplication probability.")
-
-let reorder_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "reorder" ] ~docv:"P" ~doc:"Per-record bounded-reordering probability.")
-
-let faults_of loss corrupt duplicate reorder =
-  if loss = 0.0 && corrupt = 0.0 && duplicate = 0.0 && reorder = 0.0 then None
-  else
-    Some
-      {
-        Profilekit.Transport.default with
-        Profilekit.Transport.drop = loss;
-        corrupt;
-        duplicate;
-        reorder;
-      }
-
-let faults_term =
-  Term.(const faults_of $ loss_arg $ corrupt_arg $ duplicate_arg $ reorder_arg)
-
-let sanitize_arg =
-  Arg.(
-    value & flag
-    & info [ "sanitize" ]
-        ~doc:"Quarantine infeasible timings (cost envelope + MAD) before estimation.")
-
-let robust_arg =
-  Arg.(
-    value & flag
-    & info [ "robust" ]
-        ~doc:"Contamination-robust EM: add a uniform outlier mixture component.")
-
-let min_samples_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "min-samples" ] ~docv:"N"
-        ~doc:
-          "Reject procedures with fewer surviving samples; rejected procedures fall \
-           back to the uniform prior and keep their natural layout.")
-
-let sanitize_of flag = if flag then Some Tomo.Sanitize.default else None
-let outlier_of flag = if flag then Some Tomo.Em.default_outlier else None
-
-let config_of seed resolution jitter horizon faults =
-  {
-    P.seed;
-    horizon;
-    timer_resolution = resolution;
-    timer_jitter = jitter;
-    prediction = Mote_machine.Machine.Predict_not_taken;
-    faults;
-  }
-
-let print_transport run =
-  match run.P.transport with
-  | None -> ()
-  | Some ts ->
-      Printf.printf "link: %s; %d windows discarded\n\n"
-        (Format.asprintf "%a" Profilekit.Transport.pp_stats ts)
-        run.P.discarded
-
-let theta_str theta =
-  "[" ^ String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") theta)) ^ "]"
 
 (* --- list --- *)
 
@@ -255,7 +99,7 @@ let profile_cmd =
       run.P.node_stats.Mote_os.Node.tasks_dropped;
     print_transport run;
     let estimations =
-      P.estimate ~pool ~method_ ?sanitize:(sanitize_of sanitize)
+      P.estimate ~ctx:(P.Ctx.of_pool pool) ~method_ ?sanitize:(sanitize_of sanitize)
         ?outlier:(outlier_of robust) ~min_samples run
     in
     List.iter
@@ -316,8 +160,9 @@ let place_cmd =
     let variants =
       match profile_file with
       | None ->
-          P.compare_layouts ~pool ~method_ ?sanitize:(sanitize_of sanitize)
-            ?outlier:(outlier_of robust) ~min_samples run
+          P.compare_layouts ~ctx:(P.Ctx.of_pool pool) ~method_
+            ?sanitize:(sanitize_of sanitize) ?outlier:(outlier_of robust) ~min_samples
+            run
       | Some path ->
           let original = P.natural_binary run in
           let lookup name =
@@ -547,7 +392,9 @@ let report_cmd =
               (if Tomo.Fit.acceptable fit then "acceptable" else "SUSPECT"))
       per_proc;
     (* Layout and energy consequences. *)
-    let variants = P.compare_layouts ~pool ?sanitize ?outlier ~min_samples run in
+    let variants =
+      P.compare_layouts ~ctx:(P.Ctx.of_pool pool) ?sanitize ?outlier ~min_samples run
+    in
     let horizon_cycles = Option.value ~default:w.Workloads.horizon config.P.horizon in
     let rows =
       List.map
@@ -583,6 +430,157 @@ let report_cmd =
     Term.(
       const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
       $ domains_arg $ faults_term $ sanitize_arg $ robust_arg $ min_samples_arg)
+
+(* --- fleet --- *)
+
+let fleet_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Number of simulated nodes.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "rounds" ] ~docv:"N" ~doc:"Aggregation rounds (one uplink batch per node per round).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Records per uplink batch (default: spread each node's log evenly over the rounds).")
+  in
+  let field_arg =
+    Arg.(
+      value & flag
+      & info [ "field" ]
+          ~doc:
+            "Use the canonical field-deployment link model (5% loss, 1% corruption) as the \
+             base fault model.  Explicit $(b,--loss)/$(b,--corrupt)/$(b,--duplicate)/$(b,--reorder) \
+             flags replace it.")
+  in
+  let no_vary_arg =
+    Arg.(
+      value & flag
+      & info [ "no-vary" ]
+          ~doc:"Give every node identical fault rates instead of deterministic per-node variation.")
+  in
+  let decay_arg =
+    Arg.(
+      value & opt float 0.999
+      & info [ "decay" ] ~docv:"D" ~doc:"Forgetting factor of the per-node online estimators.")
+  in
+  let replace_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "replace-every" ] ~docv:"K"
+          ~doc:"Re-run placement every K rounds (0 = final round only; the final round always places).")
+  in
+  let timings_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timings" ] ~docv:"FILE"
+          ~doc:"Write wall-clock seconds as bench-compatible timings JSON.")
+  in
+  let run w seed resolution jitter horizon domains faults field no_vary nodes rounds batch
+      decay min_samples replace_every timings =
+    guarded @@ fun () ->
+    with_pool domains @@ fun pool ->
+    let session = Codetomo.Session.create ~pool () in
+    let base_faults =
+      match (faults, field) with
+      | Some f, _ -> f
+      | None, true -> Profilekit.Transport.field ()
+      | None, false -> Profilekit.Transport.default
+    in
+    let config =
+      {
+        (Fleet.Service.default_config w) with
+        Fleet.Service.nodes;
+        rounds;
+        batch;
+        seed;
+        faults = base_faults;
+        vary_faults = not no_vary;
+        pipeline = config_of seed resolution jitter horizon None;
+        decay;
+        min_samples;
+        replace_every;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = Fleet.Service.run ~session config in
+    let seconds = Unix.gettimeofday () -. t0 in
+    Printf.printf "fleet %s: %d nodes, %d rounds, seed %d\n" w.Workloads.name nodes rounds
+      seed;
+    List.iter
+      (fun (n : Fleet.Sim.node) ->
+        Printf.printf
+          "  node %d: env seed %6d, drop %.3f corrupt %.3f duplicate %.3f reorder %.3f\n"
+          n.Fleet.Sim.id n.Fleet.Sim.env_seed n.Fleet.Sim.faults.Profilekit.Transport.drop
+          n.Fleet.Sim.faults.Profilekit.Transport.corrupt
+          n.Fleet.Sim.faults.Profilekit.Transport.duplicate
+          n.Fleet.Sim.faults.Profilekit.Transport.reorder)
+      report.Fleet.Service.roster;
+    print_newline ();
+    let rows =
+      List.map
+        (fun (r : Fleet.Service.round_report) ->
+          [
+            string_of_int r.Fleet.Service.round;
+            string_of_int r.Fleet.Service.delivered;
+            string_of_int r.Fleet.Service.fed;
+            string_of_int r.Fleet.Service.discarded;
+            Printf.sprintf "%d/%d" r.Fleet.Service.admitted r.Fleet.Service.rejected;
+            Printf.sprintf "%.4f" r.Fleet.Service.fused_mae;
+            (match r.Fleet.Service.placement with
+            | None -> "-"
+            | Some p -> Printf.sprintf "%.1f%%" (100.0 *. p.Fleet.Service.reduction));
+          ])
+        report.Fleet.Service.round_reports
+    in
+    print_endline
+      (Report.Table.render
+         ~headers:[ "round"; "delivered"; "fed"; "discarded"; "admit/rej"; "fused MAE"; "reduction" ]
+         rows);
+    let final = report.Fleet.Service.final in
+    Printf.printf
+      "\nfinal placement (round %d, %s):\n  taken transfers %d -> %d across the fleet (%.1f%% reduction)\n"
+      final.Fleet.Service.at_round final.Fleet.Service.label
+      final.Fleet.Service.natural_taken final.Fleet.Service.placed_taken
+      (100.0 *. final.Fleet.Service.reduction);
+    List.iter
+      (fun (id, procs) ->
+        List.iter
+          (fun (proc, h) ->
+            if not (Tomo.Health.is_healthy h) then
+              Printf.printf "  health: node %d %s: %s\n" id proc (Tomo.Health.to_string h))
+          procs)
+      report.Fleet.Service.health;
+    List.iter
+      (fun (proc, d) ->
+        if d > 0.0 then Printf.printf "  drift: %s max window-to-window %.4f\n" proc d)
+      report.Fleet.Service.drift;
+    match timings with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\n  \"domains\": %d,\n  \"total_seconds\": %.3f,\n  \"experiments\": [\n    { \"name\": \"fleet\", \"seconds\": %.3f }\n  ]\n}\n"
+          (Codetomo.Session.domains session) seconds seconds;
+        close_out oc;
+        Printf.eprintf "[timings written to %s]\n%!" path
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate an N-node deployment streaming probe batches over lossy links; \
+          fuse the per-node online estimates with health gating and place from the \
+          fleet profile")
+    Term.(
+      const run $ workload_arg $ seed_arg $ resolution_arg $ jitter_arg $ horizon_arg
+      $ domains_arg $ faults_term $ field_arg $ no_vary_arg $ nodes_arg $ rounds_arg
+      $ batch_arg $ decay_arg $ min_samples_arg $ replace_every_arg $ timings_arg)
 
 (* --- asm --- *)
 
@@ -644,4 +642,15 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; inspect_cmd; dot_cmd; trace_cmd; profile_cmd; place_cmd; overhead_cmd; report_cmd; asm_cmd ]))
+          [
+            list_cmd;
+            inspect_cmd;
+            dot_cmd;
+            trace_cmd;
+            profile_cmd;
+            place_cmd;
+            overhead_cmd;
+            report_cmd;
+            fleet_cmd;
+            asm_cmd;
+          ]))

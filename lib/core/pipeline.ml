@@ -170,6 +170,20 @@ let truncate_samples ?max_samples all =
 
 type paths_cache = string -> (unit -> Tomo.Paths.t) -> Tomo.Paths.t
 
+module Ctx = struct
+  type nonrec t = { pool : Par.Pool.t option; paths_cache : paths_cache option }
+
+  let none = { pool = None; paths_cache = None }
+  let make ?pool ?paths_cache () = { pool; paths_cache }
+  let of_pool pool = { pool = Some pool; paths_cache = None }
+  let pool t = t.pool
+  let paths_cache t = t.paths_cache
+end
+
+let ctx_parts = function
+  | None -> (None, None)
+  | Some c -> (Ctx.pool c, Ctx.paths_cache c)
+
 (* The instrumented binary — hence every per-procedure path model — depends
    only on the workload, not on the timing config, so a path set enumerated
    once serves the whole resolution × jitter grid.  The cache key is the
@@ -236,8 +250,8 @@ let materialize_paths ?paths_cache ~method_ ~key ?max_paths ?max_visits model =
       | None -> Some (enumerate ()))
   | _ -> None
 
-let estimate ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
-    ?max_visits ?sanitize ?outlier ?min_samples run =
+let estimate_with ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples
+    ?max_paths ?max_visits ?sanitize ?outlier ?min_samples run =
   pmap ?pool
     (fun proc ->
       let all = List.assoc proc run.samples in
@@ -255,7 +269,7 @@ let estimate ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples ?max
 (* Ambiguous branches (equal-cost arms) in the coordinates of the
    probe-instrumented binary — the ones end-to-end timing cannot estimate
    without help. *)
-let ambiguous_sites ?paths_cache ?max_paths ?max_visits run =
+let ambiguous_sites_with ?paths_cache ?max_paths ?max_visits run =
   List.concat_map
     (fun proc ->
       let model = model_of run proc in
@@ -271,12 +285,12 @@ let ambiguous_sites ?paths_cache ?max_paths ?max_visits run =
       | exception Tomo.Paths.Too_complex _ -> [])
     run.workload.Workloads.profiled
 
-let estimate_watermarked ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em) ?max_samples
-    ?max_paths ?max_visits ?sanitize ?outlier ?min_samples run =
-  let sites = ambiguous_sites ?paths_cache ?max_paths ?max_visits run in
+let estimate_watermarked_with ?pool ?paths_cache ?(method_ = Tomo.Estimator.Em)
+    ?max_samples ?max_paths ?max_visits ?sanitize ?outlier ?min_samples run =
+  let sites = ambiguous_sites_with ?paths_cache ?max_paths ?max_visits run in
   if sites = [] then
-    ( estimate ?pool ?paths_cache ~method_ ?max_samples ?max_paths ?max_visits ?sanitize
-        ?outlier ?min_samples run,
+    ( estimate_with ?pool ?paths_cache ~method_ ?max_samples ?max_paths ?max_visits
+        ?sanitize ?outlier ?min_samples run,
       [] )
   else begin
     (* Rebuild the profiling image with delay stubs on the ambiguous taken
@@ -382,14 +396,16 @@ let worst_placement freq =
 let worst_binary run =
   placed_binary run ~profiles:run.oracle_freqs ~algorithm:worst_placement
 
-let compare_layouts ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.Em)
+let compare_layouts_with ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.Em)
     ?sanitize ?outlier ?min_samples run =
   let eval_config =
     match eval_config with
     | Some c -> c
     | None -> { run.config with seed = run.config.seed + 1000 }
   in
-  let estimations = estimate ?pool ?paths_cache ~method_ ?sanitize ?outlier ?min_samples run in
+  let estimations =
+    estimate_with ?pool ?paths_cache ~method_ ?sanitize ?outlier ?min_samples run
+  in
   (* A Rejected procedure contributes no profile: Rewrite leaves an
      unprofiled procedure in its natural layout, which is exactly the
      graceful-degradation contract.  The variant label carries the
@@ -424,3 +440,34 @@ let compare_layouts ?pool ?paths_cache ?eval_config ?(method_ = Tomo.Estimator.E
       (tomo_label, tomo);
       ("perfect", perfect);
     ]
+
+(* Canonical entry points: one [?ctx] instead of [?pool]/[?paths_cache].
+   The [_with] implementations above stay the single source of truth;
+   these only destructure the context. *)
+
+let estimate ?ctx ?method_ ?max_samples ?max_paths ?max_visits ?sanitize ?outlier
+    ?min_samples run =
+  let pool, paths_cache = ctx_parts ctx in
+  estimate_with ?pool ?paths_cache ?method_ ?max_samples ?max_paths ?max_visits
+    ?sanitize ?outlier ?min_samples run
+
+let ambiguous_sites ?ctx ?max_paths ?max_visits run =
+  let _, paths_cache = ctx_parts ctx in
+  ambiguous_sites_with ?paths_cache ?max_paths ?max_visits run
+
+let estimate_watermarked ?ctx ?method_ ?max_samples ?max_paths ?max_visits ?sanitize
+    ?outlier ?min_samples run =
+  let pool, paths_cache = ctx_parts ctx in
+  estimate_watermarked_with ?pool ?paths_cache ?method_ ?max_samples ?max_paths
+    ?max_visits ?sanitize ?outlier ?min_samples run
+
+let compare_layouts ?ctx ?eval_config ?method_ ?sanitize ?outlier ?min_samples run =
+  let pool, paths_cache = ctx_parts ctx in
+  compare_layouts_with ?pool ?paths_cache ?eval_config ?method_ ?sanitize ?outlier
+    ?min_samples run
+
+module Legacy = struct
+  let estimate = estimate_with
+  let estimate_watermarked = estimate_watermarked_with
+  let compare_layouts = compare_layouts_with
+end

@@ -94,9 +94,35 @@ type paths_cache = string -> (unit -> Tomo.Paths.t) -> Tomo.Paths.t
     must scope the cache to a single (workload, [max_paths],
     [max_visits]) combination — {!Session} does exactly this. *)
 
+(** The execution context of a pipeline stage — the one value that
+    carries everything a stage shares with its surroundings: the domain
+    pool its fan-outs run on and the path-set memo it reads enumerated
+    models from.  It replaces the [?pool]/[?paths_cache] pairs that used
+    to thread separately through every entry point; the old signatures
+    survive as deprecated wrappers in {!Legacy}.
+
+    A context changes scheduling and sharing only, never results:
+    {!Ctx.none} (no pool, no cache) computes the same values serially
+    and from scratch. *)
+module Ctx : sig
+  type t
+
+  val none : t
+  (** Serial, uncached — the default when no [?ctx] is passed. *)
+
+  val make : ?pool:Par.Pool.t -> ?paths_cache:paths_cache -> unit -> t
+  (** Build a context from its parts; omitted parts mean "serial" /
+      "uncached".  {!Session.ctx} builds the fully-loaded one. *)
+
+  val of_pool : Par.Pool.t -> t
+  (** Pool only — the common case for one-shot CLI runs. *)
+
+  val pool : t -> Par.Pool.t option
+  val paths_cache : t -> paths_cache option
+end
+
 val estimate :
-  ?pool:Par.Pool.t ->
-  ?paths_cache:paths_cache ->
+  ?ctx:Ctx.t ->
   ?method_:Tomo.Estimator.method_ ->
   ?max_samples:int ->
   ?max_paths:int ->
@@ -113,9 +139,9 @@ val estimate :
     stopping-rule semantics (F2 sweeps "how long must we profile?",
     not "which windows do we keep?").  When [max_samples] is absent,
     negative, or at least the sample count, all samples are used.
-    [pool] fans the per-procedure estimations out over a domain pool;
-    estimation is deterministic, so the result is identical with or
-    without it.
+    [ctx] supplies the domain pool the per-procedure estimations fan
+    out over and the path-set memo they read; estimation is
+    deterministic, so the result is identical with or without it.
 
     The robustness knobs are all opt-in and, at their defaults, leave
     every result bit-identical to the pre-robustness pipeline:
@@ -128,7 +154,7 @@ val estimate :
     [Invalid_argument]) is intercepted. *)
 
 val ambiguous_sites :
-  ?paths_cache:paths_cache ->
+  ?ctx:Ctx.t ->
   ?max_paths:int ->
   ?max_visits:int ->
   profile_run ->
@@ -138,8 +164,7 @@ val ambiguous_sites :
     instrumented binary's coordinates — see {!Tomo.Identify}. *)
 
 val estimate_watermarked :
-  ?pool:Par.Pool.t ->
-  ?paths_cache:paths_cache ->
+  ?ctx:Ctx.t ->
   ?method_:Tomo.Estimator.method_ ->
   ?max_samples:int ->
   ?max_paths:int ->
@@ -197,8 +222,7 @@ val worst_binary : profile_run -> Mote_isa.Program.t
     procedures, inverted Pettis–Hansen above that). *)
 
 val compare_layouts :
-  ?pool:Par.Pool.t ->
-  ?paths_cache:paths_cache ->
+  ?ctx:Ctx.t ->
   ?eval_config:config ->
   ?method_:Tomo.Estimator.method_ ->
   ?sanitize:Tomo.Sanitize.config ->
@@ -209,10 +233,10 @@ val compare_layouts :
 (** The T4/F5 experiment for one workload: natural, worst-case,
     tomography-guided and perfect-profile binaries, all run under the same
     evaluation environment (default: profiling seed + 1000, so placement
-    is tested on fresh inputs from the same distribution).  [pool] runs
-    the four variant evaluations on separate domains; every variant owns
-    a fresh machine/environment seeded from the evaluation config, so
-    parallel output is bit-identical to serial.
+    is tested on fresh inputs from the same distribution).  [ctx]'s pool
+    runs the four variant evaluations on separate domains; every variant
+    owns a fresh machine/environment seeded from the evaluation config,
+    so parallel output is bit-identical to serial.
 
     The robustness knobs are forwarded to {!estimate}.  A procedure whose
     health comes back {!Tomo.Health.Rejected} contributes {e no} profile
@@ -220,3 +244,54 @@ val compare_layouts :
     placement — and the tomography variant's label becomes
     ["tomography[N fallback]"] so a partial layout is never mistaken for
     a full one. *)
+
+(** {1 Deprecated}
+
+    The pre-{!Ctx} entry points, kept as thin wrappers so downstream
+    callers keep compiling while they migrate.  Each builds a context
+    from its [?pool]/[?paths_cache] arguments and defers to the
+    canonical function; results are identical.  No in-repo caller uses
+    these. *)
+module Legacy : sig
+  val estimate :
+    ?pool:Par.Pool.t ->
+    ?paths_cache:paths_cache ->
+    ?method_:Tomo.Estimator.method_ ->
+    ?max_samples:int ->
+    ?max_paths:int ->
+    ?max_visits:int ->
+    ?sanitize:Tomo.Sanitize.config ->
+    ?outlier:Tomo.Em.outlier ->
+    ?min_samples:int ->
+    profile_run ->
+    estimation list
+  [@@ocaml.deprecated "use Pipeline.estimate ?ctx (Pipeline.Ctx bundles pool and paths cache)"]
+
+  val estimate_watermarked :
+    ?pool:Par.Pool.t ->
+    ?paths_cache:paths_cache ->
+    ?method_:Tomo.Estimator.method_ ->
+    ?max_samples:int ->
+    ?max_paths:int ->
+    ?max_visits:int ->
+    ?sanitize:Tomo.Sanitize.config ->
+    ?outlier:Tomo.Em.outlier ->
+    ?min_samples:int ->
+    profile_run ->
+    estimation list * (string * int) list
+  [@@ocaml.deprecated
+    "use Pipeline.estimate_watermarked ?ctx (Pipeline.Ctx bundles pool and paths cache)"]
+
+  val compare_layouts :
+    ?pool:Par.Pool.t ->
+    ?paths_cache:paths_cache ->
+    ?eval_config:config ->
+    ?method_:Tomo.Estimator.method_ ->
+    ?sanitize:Tomo.Sanitize.config ->
+    ?outlier:Tomo.Em.outlier ->
+    ?min_samples:int ->
+    profile_run ->
+    variant list
+  [@@ocaml.deprecated
+    "use Pipeline.compare_layouts ?ctx (Pipeline.Ctx bundles pool and paths cache)"]
+end

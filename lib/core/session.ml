@@ -104,6 +104,12 @@ let paths_cache t ?max_paths ?max_visits (w : Workloads.t) pkey compute =
     }
     compute
 
+(* The fully-loaded context for one (workload, enumeration bounds) pair:
+   the session's pool plus its memoized path sets.  This is what outside
+   callers driving Pipeline stages directly should thread. *)
+let ctx t ?max_paths ?max_visits (w : Workloads.t) =
+  Pipeline.Ctx.make ~pool:t.pool ~paths_cache:(paths_cache t ?max_paths ?max_visits w) ()
+
 let profile t ?(config = Pipeline.default_config) (w : Workloads.t) =
   memo t t.profiles
     { name = w.Workloads.name; config }
@@ -133,10 +139,8 @@ let estimate t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths ?max_visit
   fst
     (memo t t.estimates key (fun () ->
          let run = profile t ?config w in
-         ( Pipeline.estimate ~pool:t.pool
-             ~paths_cache:(paths_cache t ?max_paths ?max_visits w)
-             ~method_ ?max_samples ?max_paths ?max_visits ?sanitize ?outlier
-             ?min_samples run,
+         ( Pipeline.estimate ~ctx:(ctx t ?max_paths ?max_visits w) ~method_ ?max_samples
+             ?max_paths ?max_visits ?sanitize ?outlier ?min_samples run,
            [] )))
 
 let estimate_watermarked t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_paths
@@ -147,10 +151,8 @@ let estimate_watermarked t ?(method_ = Tomo.Estimator.Em) ?max_samples ?max_path
   in
   memo t t.estimates key (fun () ->
       let run = profile t ?config w in
-      Pipeline.estimate_watermarked ~pool:t.pool
-        ~paths_cache:(paths_cache t ?max_paths ?max_visits w)
-        ~method_ ?max_samples ?max_paths ?max_visits ?sanitize ?outlier ?min_samples
-        run)
+      Pipeline.estimate_watermarked ~ctx:(ctx t ?max_paths ?max_visits w) ~method_
+        ?max_samples ?max_paths ?max_visits ?sanitize ?outlier ?min_samples run)
 
 let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em) ?sanitize ?outlier
     ?min_samples ?(config = Pipeline.default_config) (w : Workloads.t) =
@@ -167,8 +169,8 @@ let compare_layouts t ?eval_config ?(method_ = Tomo.Estimator.Em) ?sanitize ?out
   in
   memo t t.variants key (fun () ->
       let run = profile t ~config w in
-      Pipeline.compare_layouts ~pool:t.pool ~paths_cache:(paths_cache t w) ?eval_config
-        ~method_ ?sanitize ?outlier ?min_samples run)
+      Pipeline.compare_layouts ~ctx:(ctx t w) ?eval_config ~method_ ?sanitize ?outlier
+        ?min_samples run)
 
 let clear t =
   Mutex.lock t.mutex;

@@ -56,6 +56,12 @@ val paths_cache :
     pipeline automatically; it is exposed for callers driving
     {!Pipeline.estimate} directly. *)
 
+val ctx : t -> ?max_paths:int -> ?max_visits:int -> Workloads.t -> Pipeline.Ctx.t
+(** The session's fully-loaded {!Pipeline.Ctx}: its pool plus its
+    {!paths_cache} scoped to one (workload, enumeration bounds) pair.
+    Callers driving {!Pipeline.estimate} (or the fleet service) directly
+    pass this one value instead of threading pool and cache separately. *)
+
 val profile : t -> ?config:Pipeline.config -> Workloads.t -> Pipeline.profile_run
 (** Memoized {!Pipeline.profile} keyed by workload name and config. *)
 

@@ -1,0 +1,35 @@
+type input = { theta : float array; weight : float; health : Tomo.Health.t }
+
+type result = {
+  fused : float array option;
+  mass : float;
+  admitted : int;
+  rejected : int;
+}
+
+let fuse inputs =
+  let admissible, excluded =
+    List.partition
+      (fun i -> (not (Tomo.Health.is_rejected i.health)) && i.weight > 0.0)
+      inputs
+  in
+  match admissible with
+  | [] -> { fused = None; mass = 0.0; admitted = 0; rejected = List.length excluded }
+  | first :: _ ->
+      let k = Array.length first.theta in
+      let acc = Array.make k 0.0 in
+      let mass =
+        List.fold_left
+          (fun mass i ->
+            if Array.length i.theta <> k then
+              invalid_arg "Fleet.Fusion.fuse: mismatched theta arities";
+            Array.iteri (fun j v -> acc.(j) <- acc.(j) +. (i.weight *. v)) i.theta;
+            mass +. i.weight)
+          0.0 admissible
+      in
+      {
+        fused = Some (Array.map (fun s -> s /. mass) acc);
+        mass;
+        admitted = List.length admissible;
+        rejected = List.length excluded;
+      }

@@ -1,0 +1,41 @@
+(** Evidence pooling across fleet nodes — the base station's fusion rule.
+
+    Every node estimates the same procedure's θ from its own lossy
+    timing stream, with its own sample mass and its own health verdict.
+    The fleet profile for that procedure is the {e evidence-weighted
+    mean} of the admissible estimates:
+
+    {v θ_fleet = Σ_n w_n·θ_n / Σ_n w_n   over non-Rejected nodes v}
+
+    where [w_n] is the node's decayed evidence mass
+    ({!Tomo.Online.effective_weight}) — so a node that has seen 900
+    windows outvotes one that has seen 12, and a node whose link just
+    rebooted (decay washed its mass out) fades instead of anchoring the
+    fleet to stale inputs.
+
+    {!Tomo.Health.Rejected} inputs are excluded {e before} weighting:
+    a dead link shows up as a near-zero-sample estimator whose θ is the
+    uniform prior, and averaging priors into the fleet estimate would
+    bias every parameter toward 0.5.  When nothing is admissible the
+    result carries no θ at all — downstream placement then keeps the
+    procedure's natural layout, exactly like the single-node
+    {!Codetomo.Pipeline.compare_layouts} fallback. *)
+
+type input = {
+  theta : float array;
+  weight : float;  (** Evidence mass; non-negative.  Zero never admits. *)
+  health : Tomo.Health.t;
+}
+
+type result = {
+  fused : float array option;
+      (** [None] when no input was admissible — fall back to natural
+          layout, never to an average of priors. *)
+  mass : float;  (** Total admitted evidence weight. *)
+  admitted : int;
+  rejected : int;  (** Inputs excluded (Rejected health or zero mass). *)
+}
+
+val fuse : input list -> result
+(** All admitted thetas must share one arity.
+    @raise Invalid_argument on mismatched theta lengths. *)

@@ -1,0 +1,62 @@
+(** Per-node incremental ingest — the base station's state for one node.
+
+    Batches arrive in rounds; each is decoded from the versioned
+    {!Profilekit.Wire} format (unknown versions raise the typed
+    {!Profilekit.Wire.Error} — a fleet never guesses at firmware it does
+    not speak), appended to the node's record history, and re-paired by
+    the resynchronizing lossy collector.  The collector is sequential,
+    so windows it closed in earlier rounds never change when new records
+    arrive — only {e new} windows appear, and exactly those are fed to
+    the per-procedure {!Tomo.Online} estimators.  Feeding batch by batch
+    therefore leaves the estimator in {e precisely} the state it would
+    reach on the concatenated stream (the fleet test suite asserts this
+    to the last bit).
+
+    Estimator memory is O(paths + parameters) per procedure; the record
+    history is kept only because the collector needs the full stream to
+    resynchronize across batch-spanning windows. *)
+
+type t
+
+val create :
+  node:Sim.node ->
+  program:Mote_isa.Program.t ->
+  resolution:int ->
+  sigma:float ->
+  decay:float ->
+  procs:(string * Tomo.Paths.t) list ->
+  t
+(** One estimator per profiled procedure, all sharing the node's link.
+    [procs] supplies each procedure's (typically session-cached) path
+    set; [sigma] and [decay] configure the online estimators. *)
+
+val node : t -> Sim.node
+
+val ingest : t -> string -> unit
+(** Decode one Wire batch, resynchronize, feed the new windows.
+    @raise Profilekit.Wire.Error on an unreadable or wrong-version
+    batch. *)
+
+val delivered : t -> int
+(** Records received so far (across all batches, duplicates included). *)
+
+val discarded : t -> int
+(** Windows the collector abandoned in the current history. *)
+
+val fed : t -> string -> int
+(** Samples fed to [proc]'s estimator so far. *)
+
+val total_fed : t -> int
+
+val theta : t -> string -> float array
+val weight : t -> string -> float
+(** Decayed evidence mass of [proc]'s estimator. *)
+
+val samples : t -> string -> float array
+(** Every sample fed to [proc], in feed order — the windowed-drift
+    analysis reads these back. *)
+
+val fusion_input : t -> min_samples:int -> string -> Fusion.input
+(** The node's vote for [proc]: current θ, decayed evidence mass, and a
+    health verdict from the sample floor — [Rejected] below
+    [min_samples], so a dead link excludes itself from fusion. *)

@@ -217,3 +217,12 @@ let collect_lossy ?max_window ~program ~devices () =
   collect_lossy_records ?max_window ~program
     ~resolution:(Mote_machine.Devices.timer_resolution devices)
     (Mote_machine.Devices.probe_log devices)
+
+(* Wire-format ingest: decode (rejecting unknown versions with the typed
+   Wire.Error) and delegate to the record-list collectors. *)
+
+let collect_wire ~program ~resolution batch =
+  collect_records ~program ~resolution (Wire.decode_exn batch)
+
+let collect_lossy_wire ?max_window ~program ~resolution batch =
+  collect_lossy_records ?max_window ~program ~resolution (Wire.decode_exn batch)

@@ -103,3 +103,18 @@ val collect_lossy_records :
   lossy_result
 (** {!collect_lossy} on an explicit record list — feed it the output of
     {!Transport.perturb} to model a full field deployment. *)
+
+val collect_wire :
+  program:Program.t -> resolution:int -> string -> sample_set
+(** {!collect_records} on a serialized batch: the strict collector over
+    the {!Wire} format.  A batch with a bad magic, an unknown format
+    version or a truncated payload raises the typed {!Wire.Error} —
+    unknown versions are {e rejected}, never guessed at. *)
+
+val collect_lossy_wire :
+  ?max_window:int -> program:Program.t -> resolution:int -> string -> lossy_result
+(** {!collect_lossy_records} on a serialized batch.  Loss-tolerance is
+    about records missing {e inside} a well-formed batch; a batch whose
+    envelope itself is unreadable still raises {!Wire.Error} — the
+    lossy collector resynchronizes across damage, it does not invent
+    records from bytes it cannot parse. *)

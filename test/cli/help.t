@@ -1,0 +1,55 @@
+The estimating subcommands (profile, place, report, fleet) share one
+flag vocabulary, defined once in Ctomo_flags.  This test holds them to
+it: for each shared flag, the rendered help entry must be byte-identical
+in every subcommand that offers it — same names, same metavariable,
+same doc string.  A flag redefined locally (and drifting) fails here.
+
+  $ extract () {
+  >   ctomo "$1" --help=plain | awk -v opt="$2" '
+  >     $0 ~ "^ +" opt "([ =,]|$)" { grab = 1 }
+  >     grab && $0 ~ "^ *$" { grab = 0 }
+  >     grab { sub(/^ +/, ""); print }'
+  > }
+
+Flags every estimating subcommand must document identically:
+
+  $ for opt in "-w" "--seed" "--resolution" "--jitter" "--horizon" "-j" \
+  >            "--loss" "--corrupt" "--duplicate" "--reorder" "--min-samples"; do
+  >   extract profile "$opt" > ref.txt
+  >   test -s ref.txt || echo "MISSING: profile $opt"
+  >   for sub in place report fleet; do
+  >     extract "$sub" "$opt" > cur.txt
+  >     test -s cur.txt || echo "MISSING: $sub $opt"
+  >     cmp -s ref.txt cur.txt || { echo "MISMATCH: $sub $opt"; diff ref.txt cur.txt; }
+  >   done
+  > done
+
+The batch-estimation robustness knobs configure sanitization and the
+outlier mixture of the offline EM; fleet's online estimators do not
+take them, so they are shared by profile/place/report only:
+
+  $ for opt in "--sanitize" "--robust"; do
+  >   extract profile "$opt" > ref.txt
+  >   test -s ref.txt || echo "MISSING: profile $opt"
+  >   for sub in place report; do
+  >     extract "$sub" "$opt" > cur.txt
+  >     test -s cur.txt || echo "MISSING: $sub $opt"
+  >     cmp -s ref.txt cur.txt || { echo "MISMATCH: $sub $opt"; diff ref.txt cur.txt; }
+  >   done
+  > done
+
+The estimator-method flag is shared by profile and place:
+
+  $ extract profile "--method" > ref.txt
+  $ test -s ref.txt || echo "MISSING: profile --method"
+  $ extract place "--method" > cur.txt
+  $ cmp -s ref.txt cur.txt || { echo "MISMATCH: place --method"; diff ref.txt cur.txt; }
+
+And fleet's own flags exist (the campaign shape is fleet-specific, not
+shared):
+
+  $ for opt in "--nodes" "--rounds" "--batch" "--field" "--no-vary" \
+  >            "--decay" "--replace-every" "--timings"; do
+  >   extract fleet "$opt" > cur.txt
+  >   test -s cur.txt || echo "MISSING: fleet $opt"
+  > done

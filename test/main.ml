@@ -28,4 +28,6 @@ let () =
       ("binary", Test_binary.suite);
       ("energy", Test_energy.suite);
       ("fuzz", Test_fuzz.suite);
+      ("wire", Test_wire.suite);
+      ("fleet", Test_fleet.suite);
     ]

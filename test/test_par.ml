@@ -96,14 +96,22 @@ let check_variants_equal msg a b =
 
 let test_compare_layouts_domain_invariant () =
   let run = Lazy.force run in
-  let serial = Pool.with_pool ~domains:1 (fun p -> P.compare_layouts ~pool:p run) in
-  let parallel = Pool.with_pool ~domains:4 (fun p -> P.compare_layouts ~pool:p run) in
+  let serial =
+    Pool.with_pool ~domains:1 (fun p -> P.compare_layouts ~ctx:(P.Ctx.of_pool p) run)
+  in
+  let parallel =
+    Pool.with_pool ~domains:4 (fun p -> P.compare_layouts ~ctx:(P.Ctx.of_pool p) run)
+  in
   check_variants_equal "domains=1 vs domains=4" serial parallel
 
 let test_estimate_domain_invariant () =
   let run = Lazy.force run in
-  let serial = Pool.with_pool ~domains:1 (fun p -> P.estimate ~pool:p run) in
-  let parallel = Pool.with_pool ~domains:4 (fun p -> P.estimate ~pool:p run) in
+  let serial =
+    Pool.with_pool ~domains:1 (fun p -> P.estimate ~ctx:(P.Ctx.of_pool p) run)
+  in
+  let parallel =
+    Pool.with_pool ~domains:4 (fun p -> P.estimate ~ctx:(P.Ctx.of_pool p) run)
+  in
   List.iter2
     (fun (a : P.estimation) (b : P.estimation) ->
       Alcotest.(check string) "proc" a.P.proc b.P.proc;
